@@ -1,0 +1,94 @@
+(* Benchmark harness.
+
+   Two jobs:
+   1. regenerate every figure of the paper's evaluation (the series are
+      printed first — that is the reproduction itself);
+   2. time the allocators with Bechamel, one benchmark group per figure:
+      - fig7:  the full preference-directed pipeline on the worked
+               example;
+      - fig9:  the coalescing-quality allocators at k = 16 (what
+               Fig. 9 measures);
+      - fig10: the three execution-time allocators at k = 24;
+      - fig11: the Fig. 11 allocators at k = 24.
+
+   `main.exe --figures-only` skips the timings; `--bench-only` skips the
+   figure regeneration. *)
+
+open Bechamel
+open Toolkit
+
+let fig7_test =
+  Test.make ~name:"fig7:pdgc-full"
+    (Staged.stage (fun () -> ignore (Fig7.run ())))
+
+let alloc_test ~figure ~k algo bench_name =
+  let m = Machine.make ~k () in
+  let prepared = Pipeline.prepare m (Suite.program bench_name) in
+  Test.make
+    ~name:(Printf.sprintf "%s:%s:%s:k%d" figure algo.Pipeline.key bench_name k)
+    (Staged.stage (fun () ->
+         ignore (Pipeline.allocate_program algo m prepared)))
+
+let tests () =
+  let fig9 =
+    List.map
+      (fun a -> alloc_test ~figure:"fig9" ~k:16 a "jess")
+      [
+        Pipeline.chaitin_base;
+        Pipeline.briggs_aggressive;
+        Pipeline.optimistic;
+        Pipeline.pdgc_coalescing_only;
+      ]
+  in
+  let fig10 =
+    List.map
+      (fun a -> alloc_test ~figure:"fig10" ~k:24 a "mtrt")
+      [ Pipeline.pdgc_coalescing_only; Pipeline.optimistic; Pipeline.pdgc_full ]
+  in
+  let fig11 =
+    List.map
+      (fun a -> alloc_test ~figure:"fig11" ~k:24 a "jack")
+      [
+        Pipeline.briggs_aggressive;
+        Pipeline.aggressive_volatility;
+        Pipeline.pdgc_full;
+      ]
+  in
+  Test.make_grouped ~name:"pdgc" ~fmt:"%s %s"
+    ((fig7_test :: fig9) @ fig10 @ fig11)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  print_endline "== Bechamel timings (monotonic clock, ns/run) ==";
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some (est :: _) -> Printf.printf "%-44s %14.0f ns/run\n" name est
+          | Some [] | None -> Printf.printf "%-44s (no estimate)\n" name)
+        rows)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let figures = not (List.mem "--bench-only" args) in
+  let bench = not (List.mem "--figures-only" args) in
+  if figures then begin
+    Format.printf "%a@." Experiments.print_all ();
+    Format.printf "%a@." Ablation.print (Ablation.run ())
+  end;
+  if bench then run_bechamel ()

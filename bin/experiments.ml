@@ -1,0 +1,87 @@
+(* Command-line driver for the paper's experiments.
+
+   `experiments fig7` / `fig9` / `fig10` / `fig11` / `all` regenerate
+   the corresponding figure's series; `experiments alloc NAME` runs one
+   allocator over one benchmark and reports its metrics. *)
+
+open Cmdliner
+
+let ppf = Format.std_formatter
+
+let fig7_cmd =
+  let doc = "Reproduce the worked example of Fig. 7." in
+  Cmd.v (Cmd.info "fig7" ~doc)
+    Term.(const (fun () -> Format.fprintf ppf "%a@." Fig7.print ()) $ const ())
+
+let k_arg ~default =
+  let doc = "Number of registers per class (16, 24 or 32)." in
+  Arg.(value & opt int default & info [ "k" ] ~docv:"K" ~doc)
+
+let fig9_cmd =
+  let doc = "Reproduce Fig. 9: coalescing and spill ratios vs. Chaitin." in
+  let run k = Format.fprintf ppf "%a@." Experiments.print_fig9 (Experiments.fig9 ~k) in
+  Cmd.v (Cmd.info "fig9" ~doc) Term.(const run $ k_arg ~default:16)
+
+let fig10_cmd =
+  let doc = "Reproduce Fig. 10: simulated execution time per pressure model." in
+  let run k =
+    Format.fprintf ppf "%a@."
+      (fun ppf -> Experiments.print_fig10 ppf ~k)
+      (Experiments.fig10 ~k)
+  in
+  Cmd.v (Cmd.info "fig10" ~doc) Term.(const run $ k_arg ~default:24)
+
+let fig11_cmd =
+  let doc = "Reproduce Fig. 11: relative time of five allocators at k=24." in
+  let run () = Format.fprintf ppf "%a@." Experiments.print_fig11 (Experiments.fig11 ()) in
+  Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ const ())
+
+let ablation_cmd =
+  let doc = "Ablation study of the design choices (DESIGN.md section 5)." in
+  let run () = Format.fprintf ppf "%a@." Ablation.print (Ablation.run ()) in
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ const ())
+
+let all_cmd =
+  let doc = "Run every experiment (Figs. 7, 9, 10, 11)." in
+  let run () = Format.fprintf ppf "%a@." Experiments.print_all () in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let alloc_cmd =
+  let doc = "Allocate one benchmark with one algorithm and report metrics." in
+  let bench =
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) Suite.names))) None
+      & info [] ~docv:"BENCH")
+  in
+  let algo =
+    let algo_conv =
+      Arg.enum (List.map (fun a -> (a.Pipeline.key, a)) Pipeline.all_algos)
+    in
+    Arg.(
+      value & opt algo_conv Pipeline.pdgc_full & info [ "algo"; "a" ] ~docv:"ALGO")
+  in
+  let run name algo k =
+    let m = Machine.make ~k () in
+    let prepared = Pipeline.prepare m (Suite.program name) in
+    let before = Interp.run prepared in
+    let a = Pipeline.allocate_program algo m prepared in
+    let after = Interp.run ~machine:m a.Pipeline.program in
+    Format.fprintf ppf
+      "%s on %s (k=%d):@.  moves eliminated %d, kept %d@.  spill instructions \
+       %d@.  rounds %d@.  simulated cycles %d (was %d virtual)@.  result \
+       preserved: %b@."
+      algo.Pipeline.label name k a.Pipeline.moves_eliminated
+      a.Pipeline.moves_kept a.Pipeline.spill_instrs a.Pipeline.rounds_max
+      after.Interp.stats.Interp.cycles before.Interp.stats.Interp.cycles
+      (Interp.equal_value before.Interp.value after.Interp.value)
+  in
+  Cmd.v (Cmd.info "alloc" ~doc) Term.(const run $ bench $ algo $ k_arg ~default:24)
+
+let main =
+  let doc = "Preference-directed graph coloring: experiment runner" in
+  Cmd.group
+    (Cmd.info "experiments" ~doc)
+    [ fig7_cmd; fig9_cmd; fig10_cmd; fig11_cmd; ablation_cmd; all_cmd; alloc_cmd ]
+
+let () = exit (Cmd.eval main)

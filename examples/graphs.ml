@@ -1,0 +1,29 @@
+(* Dump the paper's Fig. 7 Register Preference Graph and Coloring
+   Precedence Graphs as Graphviz files (rendered with e.g.
+   `dot -Tpng fig7_rpg.dot -o fig7_rpg.png`).
+
+   Run with: dune exec examples/graphs.exe *)
+
+let () =
+  let a = Fig7.run () in
+  let name r =
+    let named =
+      [
+        (a.Fig7.regs.Fig7.v0, "v0"); (a.Fig7.regs.Fig7.v1, "v1");
+        (a.Fig7.regs.Fig7.v2, "v2"); (a.Fig7.regs.Fig7.v3, "v3");
+        (a.Fig7.regs.Fig7.v4, "v4");
+      ]
+    in
+    match List.assoc_opt r named with Some n -> n | None -> Reg.to_string r
+  in
+  let dump file pp =
+    let oc = open_out file in
+    let ppf = Format.formatter_of_out_channel oc in
+    pp ppf;
+    Format.pp_print_flush ppf ();
+    close_out oc;
+    Printf.printf "wrote %s\n" file
+  in
+  dump "fig7_rpg.dot" (fun ppf -> Rpg.to_dot ~name ppf a.Fig7.rpg);
+  dump "fig7_cpg_k3.dot" (fun ppf -> Cpg.to_dot ~name ppf a.Fig7.cpg3);
+  dump "fig7_cpg_k4.dot" (fun ppf -> Cpg.to_dot ~name ppf a.Fig7.cpg4)

@@ -1,0 +1,33 @@
+(* Irregular-register preferences: paired loads (sequential±) and
+   limited-register operations.
+
+   On the IA-64-like machine a paired load issues only when its two
+   destination registers have different parity, and a Limited operation
+   needs a fixup cycle when its destination misses the limited register
+   set.  Preference-directed coloring honors both; preference-blind
+   allocators only fuse pairs by accident.
+
+   Run with: dune exec examples/irregular_registers.exe *)
+
+let () =
+  let m = Machine.middle_pressure in
+  let program = Suite.program "mpegaudio" in
+  let prepared = Pipeline.prepare m program in
+  let report algo =
+    let a = Pipeline.allocate_program algo m prepared in
+    let r = Interp.run ~machine:m a.Pipeline.program in
+    let s = r.Interp.stats in
+    let static_pairs =
+      List.fold_left
+        (fun acc fn -> acc + Pairs.count_fused fn)
+        0 a.Pipeline.program.Cfg.funcs
+    in
+    Format.printf
+      "%-22s cycles %9d | fused pairs %5d static / %7d dynamic | limited \
+       fixups %6d@."
+      algo.Pipeline.label s.Interp.cycles static_pairs s.Interp.fused_pairs
+      s.Interp.limited_fixups
+  in
+  Format.printf "mpegaudio (fp kernels, paired-load rich), k = 24:@.@.";
+  List.iter report
+    [ Pipeline.optimistic; Pipeline.pdgc_coalescing_only; Pipeline.pdgc_full ]

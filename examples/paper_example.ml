@@ -1,0 +1,8 @@
+(* The paper's Fig. 7 worked example, end to end: the sample loop, its
+   Register Preference Graph with the paper's strengths (coalesce 40/38,
+   prefers-non-volatile 28), the Coloring Precedence Graphs for k=3 and
+   k>=4, and the final assignment matching Fig. 7(g)/(h).
+
+   Run with: dune exec examples/paper_example.exe *)
+
+let () = Format.printf "%a@." Fig7.print ()

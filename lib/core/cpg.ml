@@ -1,0 +1,202 @@
+type t = {
+  succ_tbl : Reg.Set.t ref Reg.Tbl.t;
+  pred_tbl : Reg.Set.t ref Reg.Tbl.t;
+  mutable initial_nodes : Reg.t list;
+  pending : int Reg.Tbl.t; (* unresolved predecessor count *)
+  all : Reg.t list;
+}
+
+let cell tbl r =
+  match Reg.Tbl.find_opt tbl r with
+  | Some c -> c
+  | None ->
+      let c = ref Reg.Set.empty in
+      Reg.Tbl.replace tbl r c;
+      c
+
+let set_of tbl r =
+  match Reg.Tbl.find_opt tbl r with Some c -> !c | None -> Reg.Set.empty
+
+let succs t r = Reg.Set.elements (set_of t.succ_tbl r)
+let preds t r = Reg.Set.elements (set_of t.pred_tbl r)
+let nodes t = t.all
+let initial t = t.initial_nodes
+
+let n_edges t =
+  Reg.Tbl.fold (fun _ c acc -> acc + Reg.Set.cardinal !c) t.succ_tbl 0
+
+(* Is [target] reachable from [src] following succ edges? *)
+let reachable t src target =
+  let seen = Reg.Tbl.create 16 in
+  let rec go r =
+    Reg.equal r target
+    || (not (Reg.Tbl.mem seen r))
+       && begin
+            Reg.Tbl.replace seen r ();
+            Reg.Set.exists go (set_of t.succ_tbl r)
+          end
+  in
+  Reg.equal src target || Reg.Set.exists go (set_of t.succ_tbl src)
+
+let add_edge t u v =
+  let su = cell t.succ_tbl u and pv = cell t.pred_tbl v in
+  su := Reg.Set.add v !su;
+  pv := Reg.Set.add u !pv
+
+let remove_edge t u v =
+  let su = cell t.succ_tbl u and pv = cell t.pred_tbl v in
+  su := Reg.Set.remove v !su;
+  pv := Reg.Set.remove u !pv
+
+let build ~k g (simp : Simplify.result) =
+  let order = Simplify.removal_order simp in
+  let t =
+    {
+      succ_tbl = Reg.Tbl.create 64;
+      pred_tbl = Reg.Tbl.create 64;
+      initial_nodes = [];
+      pending = Reg.Tbl.create 64;
+      all = order;
+    }
+  in
+  (* Working interference graph: residual degree + presence, physical
+     registers excluded. *)
+  let wig_adj r = Reg.Set.filter Reg.is_virtual (Igraph.adj g r) in
+  let present = Reg.Tbl.create 64 in
+  let degree = Reg.Tbl.create 64 in
+  let ready = Reg.Tbl.create 64 in
+  List.iter
+    (fun r ->
+      Reg.Tbl.replace present r ();
+      Reg.Tbl.replace degree r (Reg.Set.cardinal (wig_adj r)))
+    order;
+  (* Step 4: initially low-degree nodes are ready; potential spills
+     exist but stay unready. *)
+  List.iter
+    (fun r ->
+      if Reg.Tbl.find degree r < k then Reg.Tbl.replace ready r ())
+    order;
+  (* Steps 5-9: pop in removal order. *)
+  List.iter
+    (fun n ->
+      Reg.Tbl.remove present n;
+      let neighbors =
+        Reg.Set.filter (fun x -> Reg.Tbl.mem present x) (wig_adj n)
+      in
+      let non_ready =
+        Reg.Set.filter (fun x -> not (Reg.Tbl.mem ready x)) neighbors
+      in
+      (* Step 7: non-ready remaining neighbors precede n.  Skip an edge
+         that is already implied, and drop direct edges it makes
+         transitive. *)
+      Reg.Set.iter
+        (fun u ->
+          if not (reachable t u n) then begin
+            (* An existing direct edge u -> m is transitive if n -> m
+               holds after adding u -> n. *)
+            add_edge t u n;
+            Reg.Set.iter
+              (fun m ->
+                if (not (Reg.equal m n)) && reachable t n m then
+                  remove_edge t u m)
+              (set_of t.succ_tbl u)
+          end)
+        non_ready;
+      (* Step 8: the removal may make neighbors ready. *)
+      Reg.Set.iter
+        (fun x ->
+          let d = Reg.Tbl.find degree x - 1 in
+          Reg.Tbl.replace degree x d;
+          if d < k then Reg.Tbl.replace ready x ())
+        neighbors)
+    order;
+  (* Nodes with no predecessors hang off the top. *)
+  List.iter
+    (fun r ->
+      let np = Reg.Set.cardinal (set_of t.pred_tbl r) in
+      Reg.Tbl.replace t.pending r np;
+      if np = 0 then t.initial_nodes <- r :: t.initial_nodes)
+    order;
+  t
+
+let of_total_order order =
+  let t =
+    {
+      succ_tbl = Reg.Tbl.create 64;
+      pred_tbl = Reg.Tbl.create 64;
+      initial_nodes = [];
+      pending = Reg.Tbl.create 64;
+      all = order;
+    }
+  in
+  let rec chain = function
+    | a :: (b :: _ as rest) ->
+        add_edge t a b;
+        chain rest
+    | [ _ ] | [] -> ()
+  in
+  chain order;
+  List.iter
+    (fun r ->
+      let np = Reg.Set.cardinal (set_of t.pred_tbl r) in
+      Reg.Tbl.replace t.pending r np;
+      if np = 0 then t.initial_nodes <- r :: t.initial_nodes)
+    order;
+  t
+
+let resolve t r =
+  Reg.Set.fold
+    (fun s acc ->
+      let p = Reg.Tbl.find t.pending s - 1 in
+      Reg.Tbl.replace t.pending s p;
+      if p = 0 then s :: acc else acc)
+    (set_of t.succ_tbl r) []
+
+let topological_orders_ok t =
+  (* Kahn's algorithm visits every node iff the graph is acyclic. *)
+  let pending = Reg.Tbl.create 64 in
+  let q = Queue.create () in
+  List.iter
+    (fun r ->
+      let np = Reg.Set.cardinal (set_of t.pred_tbl r) in
+      Reg.Tbl.replace pending r np;
+      if np = 0 then Queue.add r q)
+    t.all;
+  let visited = ref 0 in
+  while not (Queue.is_empty q) do
+    let r = Queue.pop q in
+    incr visited;
+    Reg.Set.iter
+      (fun s ->
+        let p = Reg.Tbl.find pending s - 1 in
+        Reg.Tbl.replace pending s p;
+        if p = 0 then Queue.add s q)
+      (set_of t.succ_tbl r)
+  done;
+  !visited = List.length t.all
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      match succs t r with
+      | [] -> ()
+      | ss ->
+          Format.fprintf ppf "%a -> {%a}@ " Reg.pp r
+            (Format.pp_print_list ~pp_sep:Fmt.comma Reg.pp)
+            ss)
+    t.all;
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = Reg.to_string) ppf t =
+  Format.fprintf ppf "digraph cpg {@.";
+  Format.fprintf ppf "  top [shape=plaintext];@.";
+  List.iter
+    (fun r ->
+      if preds t r = [] then
+        Format.fprintf ppf "  top -> \"%s\";@." (name r);
+      List.iter
+        (fun s -> Format.fprintf ppf "  \"%s\" -> \"%s\";@." (name r) (name s))
+        (succs t r))
+    t.all;
+  Format.fprintf ppf "}@."

@@ -1,0 +1,50 @@
+(** Coloring Precedence Graph (paper §5.2).
+
+    Relaxes the total order imposed by the simplification stack into a
+    partial order that still preserves colorability: an edge [u -> v]
+    means [u] must be given its register before [v].
+
+    Construction follows the paper's nine steps.  Nodes are popped in
+    the order simplification removed them; when node [N] is removed
+    from the working interference graph, each of its still-present,
+    not-yet-ready neighbors must be colored before [N] (they are the
+    neighbors whose removal later in simplification is what guaranteed
+    [N] a free color).  A node becomes ready the moment its residual
+    degree drops below [k] — from then on its own coloring is safe no
+    matter when it happens, so no constraint is recorded against it.
+
+    The paper's key claim, tested in [test_cpg.ml]: for a graph
+    simplified without optimistic spills, {e any} topological order of
+    the CPG can be greedily colored with [k] colors. *)
+
+type t
+
+val build : k:int -> Igraph.t -> Simplify.result -> t
+
+val of_total_order : Reg.t list -> t
+(** A chain: each node must be colored after its predecessor in the
+    list.  Passing the select order of plain Chaitin coloring (the
+    reversed simplification stack) turns the preference-directed select
+    into a stack-order select — the ablation baseline quantifying what
+    the order relaxation itself buys. *)
+
+val initial : t -> Reg.t list
+(** Successors of the top node: selectable immediately. *)
+
+val succs : t -> Reg.t -> Reg.t list
+val preds : t -> Reg.t -> Reg.t list
+val nodes : t -> Reg.t list
+val n_edges : t -> int
+
+val resolve : t -> Reg.t -> Reg.t list
+(** Mark a node processed (colored or spilled); returns the successors
+    that become selectable as a result.  Each node must be resolved
+    exactly once. *)
+
+val topological_orders_ok : t -> bool
+(** Internal sanity: the graph is acyclic. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?name:(Reg.t -> string) -> Format.formatter -> t -> unit
+(** Graphviz rendering with explicit top/bottom markers. *)

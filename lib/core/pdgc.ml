@@ -1,0 +1,108 @@
+type variant = Coalescing_only | Full_preferences
+
+type config = {
+  variant : variant;
+  policy : Pdgc_select.policy;
+  relax_order : bool;
+  rematerialize : bool;
+}
+
+let default_config variant =
+  {
+    variant;
+    policy = Pdgc_select.Differential;
+    relax_order = true;
+    rematerialize = false;
+  }
+
+type extra = { select_stats : Pdgc_select.stats; cpg_edges : int }
+
+let name = function
+  | Coalescing_only -> "pdgc (only coalescing)"
+  | Full_preferences -> "pdgc (full preferences)"
+
+let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
+  let kinds =
+    match config.variant with
+    | Coalescing_only -> `Coalesce_only
+    | Full_preferences -> `All
+  in
+  let f0 = Cfg.clone f0 in
+  let rec round fn ~temps ~n ~spill_instrs =
+    if n > 64 then raise (Alloc_common.Failed "pdgc: too many rounds");
+    let webs = Webs.run fn in
+    let fn = webs.Webs.func in
+    let temps =
+      Reg.Tbl.fold
+        (fun w orig acc ->
+          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
+        webs.Webs.origin Reg.Set.empty
+    in
+    let live = Liveness.compute fn in
+    let g = Igraph.build fn live in
+    let str = Strength.create fn in
+    let rpg = Rpg.build ~kinds m fn str in
+    let costs = Spill_cost.compute fn in
+    let no_spill r = Reg.Set.mem r temps in
+    (* Optimistic simplification; no merging — coalescing is deferred
+       to selection. *)
+    let simp =
+      Simplify.run Simplify.Optimistic ~k:m.Machine.k g
+        ~never_spill:no_spill ()
+        ~spill_choice:(fun blocked ->
+          let metric r =
+            if no_spill r then infinity
+            else
+              float_of_int (Spill_cost.spill_cost costs r)
+              /. float_of_int (max 1 (Igraph.degree g r))
+          in
+          match blocked with
+          | [] -> invalid_arg "spill_choice"
+          | first :: rest ->
+              List.fold_left
+                (fun acc r -> if metric r < metric acc then r else acc)
+                first rest)
+    in
+    let cpg =
+      if config.relax_order then Cpg.build ~k:m.Machine.k g simp
+      else Cpg.of_total_order simp.Simplify.stack
+    in
+    let sel =
+      Pdgc_select.run m g rpg cpg str ~no_spill
+        ~spill_risk:simp.Simplify.potential_spills ~policy:config.policy
+        ~fallback_nonvolatile_first:(config.variant = Coalescing_only)
+    in
+    if Reg.Set.is_empty sel.Pdgc_select.spilled then begin
+      let alloc = Reg.Tbl.create 64 in
+      Reg.Set.iter
+        (fun r ->
+          match Reg.Tbl.find_opt sel.Pdgc_select.colors r with
+          | Some c -> Reg.Tbl.replace alloc r c
+          | None ->
+              raise (Alloc_common.Failed ("pdgc: uncolored " ^ Reg.to_string r)))
+        (Cfg.all_vregs fn);
+      ( { Alloc_common.func = fn; alloc; rounds = n; spill_instrs },
+        { select_stats = sel.Pdgc_select.stats; cpg_edges = Cpg.n_edges cpg } )
+    end
+    else begin
+      let ins =
+        Spill_insert.insert ~rematerialize:config.rematerialize fn
+          sel.Pdgc_select.spilled
+      in
+      let temps =
+        Reg.Set.union temps
+          (Reg.Set.filter
+             (fun r -> r >= ins.Spill_insert.temp_watermark)
+             (Cfg.all_vregs ins.Spill_insert.func))
+      in
+      round ins.Spill_insert.func ~temps ~n:(n + 1)
+        ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+    end
+  in
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+
+let allocate_verbose variant m f =
+  allocate_config_verbose (default_config variant) m f
+
+let allocate variant m f = fst (allocate_verbose variant m f)
+let allocate_config config m f = fst (allocate_config_verbose config m f)

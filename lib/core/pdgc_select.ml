@@ -1,0 +1,352 @@
+type policy = Differential | Strongest | Fifo
+
+type stats = {
+  honored_coalesce : int;
+  honored_sequential : int;
+  honored_kind : int;
+  honored_limited : int;
+  active_spills : int;
+}
+
+type outcome = {
+  colors : Reg.t Reg.Tbl.t;
+  spilled : Reg.Set.t;
+  stats : stats;
+}
+
+(* Resolution of one preference against the current allocation state. *)
+type resolved =
+  | Screen of Reg.Set.t (* honorable via any of these registers *)
+  | Defer (* target live range not allocated yet *)
+  | Want_memory
+  | Dead (* cannot be honored anymore *)
+
+let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
+    ~no_spill ~spill_risk ~policy ~fallback_nonvolatile_first =
+  let colors : Reg.t Reg.Tbl.t = Reg.Tbl.create 64 in
+  let spilled = ref Reg.Set.empty in
+  let stats =
+    ref
+      {
+        honored_coalesce = 0;
+        honored_sequential = 0;
+        honored_kind = 0;
+        honored_limited = 0;
+        active_spills = 0;
+      }
+  in
+  let color_of r = if Reg.is_phys r then Some r else Reg.Tbl.find_opt colors r in
+  let available n =
+    let forbidden =
+      Reg.Set.fold
+        (fun nb acc ->
+          match color_of nb with
+          | Some c -> Reg.Set.add c acc
+          | None -> acc)
+        (Igraph.adj g n) Reg.Set.empty
+    in
+    Machine.all m (Igraph.cls g n)
+    |> List.filter (fun c -> not (Reg.Set.mem c forbidden))
+    |> Reg.Set.of_list
+  in
+  let shifted c delta =
+    let idx = Reg.phys_index c + delta in
+    if idx < 0 || idx >= m.Machine.k then None
+    else Some (Reg.phys (Reg.phys_cls c) idx)
+  in
+  let kind_set cls volatile =
+    if volatile then Machine.volatiles m cls else Machine.nonvolatiles m cls
+  in
+  (* Steps 2.1/2.2: resolve a preference of [n] given its available
+     set. *)
+  let resolve n avail (p : Rpg.pref) =
+    let target_reg t k =
+      match color_of t with
+      | Some c -> (
+          match k c with
+          | Some want ->
+              if Reg.Set.mem want avail then Screen (Reg.Set.singleton want)
+              else Dead
+          | None -> Dead)
+      | None -> if Reg.Set.mem t !spilled then Dead else Defer
+    in
+    match p.Rpg.target with
+    | Rpg.Coalesce t -> target_reg t (fun c -> Some c)
+    | Rpg.Seq_plus t -> target_reg t (fun c -> shifted c 1)
+    | Rpg.Seq_minus t -> target_reg t (fun c -> shifted c (-1))
+    | Rpg.Kind ->
+        let cls = Igraph.cls g n in
+        let volatile = p.Rpg.weight.Strength.vol >= p.Rpg.weight.Strength.nonvol in
+        let s = Reg.Set.inter avail (kind_set cls volatile) in
+        if Reg.Set.is_empty s then Dead else Screen s
+    | Rpg.In_limited ->
+        let s = Reg.Set.filter (Machine.in_limited_set m) avail in
+        if Reg.Set.is_empty s then Dead else Screen s
+    | Rpg.Memory -> if no_spill n then Dead else Want_memory
+  in
+  (* Effective strength of a resolved preference.  Coalesce and
+     sequential preferences use the paper's memory-anchored Str with the
+     weight side matching the register they screen to (the "parameter"
+     of §5.1); honoring one at a non-positive effective strength would
+     lose to spilling, so such preferences are treated as dead.  Kind
+     preferences rank by the benefit of the right kind over the wrong
+     one (for the paper's v4 the two formulations coincide at 28), and
+     limited-set preferences by the fixup saving. *)
+  let eff_strength (p : Rpg.pref) resolved =
+    match (resolved, p.Rpg.target) with
+    | Want_memory, _ -> Rpg.strength str p
+    | Screen s, (Rpg.Coalesce _ | Rpg.Seq_plus _ | Rpg.Seq_minus _) ->
+        let volatile =
+          match Reg.Set.choose_opt s with
+          | Some c -> Machine.is_volatile m c
+          | None -> true
+        in
+        Strength.weight_for ~volatile p.Rpg.weight
+    | Screen _, Rpg.Kind ->
+        abs (p.Rpg.weight.Strength.vol - p.Rpg.weight.Strength.nonvol)
+    | Screen _, Rpg.In_limited ->
+        let f =
+          match p.Rpg.instr_id with
+          | Some id -> Strength.freq_of_instr str id
+          | None -> 1
+        in
+        Costs.limited_fixup * f
+    | Screen _, Rpg.Memory | (Defer | Dead), _ -> 0
+  in
+  (* Honorable preferences with positive effective strength, strongest
+     first. *)
+  let honorable_of n avail =
+    List.filter_map
+      (fun p ->
+        let r = resolve n avail p in
+        match r with
+        | Screen _ | Want_memory ->
+            let e = eff_strength p r in
+            if e > 0 then Some (p, r, e) else None
+        | Defer | Dead -> None)
+      (Rpg.prefs rpg n)
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  in
+  (* Step 3 metric: differential between strongest and weakest honorable
+     preference; a single preference counts its full strength.  The
+     metric of a node only changes when a neighbor takes a color
+     (availability) or a preference target resolves; those events
+     invalidate the cache below. *)
+  let metric_cache : (int * int) Reg.Tbl.t = Reg.Tbl.create 64 in
+  let node_metric n =
+    match Reg.Tbl.find_opt metric_cache n with
+    | Some m -> m
+    | None ->
+        let avail = available n in
+        let strengths =
+          List.map (fun (_, _, e) -> e) (honorable_of n avail)
+        in
+        let m =
+          match strengths with
+          | [] -> (-1, 0)
+          | [ s ] -> (s, s)
+          | s :: rest ->
+              let weakest = List.fold_left min s rest in
+              (s - weakest, s)
+        in
+        Reg.Tbl.replace metric_cache n m;
+        m
+  in
+  (* Assigning or spilling [n] can change the metric of its graph
+     neighbors (availability) and of preference-related nodes. *)
+  let invalidate_after n =
+    Reg.Set.iter (fun nb -> Reg.Tbl.remove metric_cache nb) (Igraph.adj g n);
+    List.iter (fun (u, _) -> Reg.Tbl.remove metric_cache u) (Rpg.incoming rpg n);
+    List.iter
+      (fun (p : Rpg.pref) ->
+        match p.Rpg.target with
+        | Rpg.Coalesce t | Rpg.Seq_plus t | Rpg.Seq_minus t ->
+            Reg.Tbl.remove metric_cache t
+        | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
+      (Rpg.prefs rpg n)
+  in
+  let q : Reg.t list ref = ref (Cpg.initial cpg) in
+  let costs_tiebreak n = Strength.spill_cost str n in
+  let pick_node () =
+    match !q with
+    | [] -> None
+    | first :: rest -> (
+        (* Nodes that optimistic simplification could not guarantee a
+           color for go as early as the partial order allows: coloring
+           them while registers remain free is how the select phase
+           keeps spill decisions ahead of preference resolution
+           (§5.4). *)
+        match List.filter (fun n -> Reg.Set.mem n spill_risk) !q with
+        | at_risk :: _ -> Some at_risk
+        | [] when policy = Fifo -> Some first
+        | [] ->
+            (* Differential uses (differential, strongest); Strongest
+               compares the strongest preference alone. *)
+            let key n =
+              let d, s = node_metric n in
+              match policy with
+              | Differential -> (d, s)
+              | Strongest | Fifo -> (s, d)
+            in
+            let best =
+              List.fold_left
+                (fun acc n ->
+                  let ka = key acc and kn = key n in
+                  if
+                    kn > ka
+                    || (kn = ka && costs_tiebreak n > costs_tiebreak acc)
+                    || (kn = ka
+                       && costs_tiebreak n = costs_tiebreak acc
+                       && Reg.compare n acc < 0)
+                  then n
+                  else acc)
+                first rest
+            in
+            Some best)
+  in
+  let bump which =
+    let s = !stats in
+    stats :=
+      (match which with
+      | `Coalesce -> { s with honored_coalesce = s.honored_coalesce + 1 }
+      | `Seq -> { s with honored_sequential = s.honored_sequential + 1 }
+      | `Kind -> { s with honored_kind = s.honored_kind + 1 }
+      | `Limited -> { s with honored_limited = s.honored_limited + 1 }
+      | `Active -> { s with active_spills = s.active_spills + 1 })
+  in
+  let finish n =
+    invalidate_after n;
+    q := List.filter (fun x -> not (Reg.equal x n)) !q;
+    q := Cpg.resolve cpg n @ !q
+  in
+  let spill n =
+    spilled := Reg.Set.add n !spilled;
+    finish n
+  in
+  let assign n =
+    let avail = available n in
+    if Reg.Set.is_empty avail then spill n
+    else begin
+      let resolved =
+        List.map (fun p -> (p, resolve n avail p)) (Rpg.prefs rpg n)
+      in
+      let honorable = honorable_of n avail in
+      let strongest_is_memory =
+        match honorable with (_, Want_memory, _) :: _ -> true | _ -> false
+      in
+      if strongest_is_memory then begin
+        bump `Active;
+        spill n
+      end
+      else begin
+        (* Step 4.2: screen, strongest first. *)
+        let current = ref avail in
+        List.iter
+          (fun (p, r, _) ->
+            match r with
+            | Screen s ->
+                let s = Reg.Set.inter s !current in
+                if not (Reg.Set.is_empty s) then begin
+                  current := s;
+                  match p.Rpg.target with
+                  | Rpg.Coalesce _ -> bump `Coalesce
+                  | Rpg.Seq_plus _ | Rpg.Seq_minus _ -> bump `Seq
+                  | Rpg.Kind -> bump `Kind
+                  | Rpg.In_limited -> bump `Limited
+                  | Rpg.Memory -> ()
+                end
+            | Want_memory | Defer | Dead -> ())
+          honorable;
+        (* Step 4.3: keep future preferences honorable — both this
+           node's deferred preferences and unallocated nodes' preferences
+           targeting this node. *)
+        let keep_if_nonempty filter =
+          let s = Reg.Set.filter filter !current in
+          if not (Reg.Set.is_empty s) then current := s
+        in
+        List.iter
+          (fun (p, r) ->
+            if r = Defer then
+              match p.Rpg.target with
+              | Rpg.Coalesce t ->
+                  let av_t = available t in
+                  keep_if_nonempty (fun c -> Reg.Set.mem c av_t)
+              | Rpg.Seq_plus t ->
+                  (* n wants reg(t)+1: keep c with c-1 available to t. *)
+                  let av_t = available t in
+                  keep_if_nonempty (fun c ->
+                      match shifted c (-1) with
+                      | Some c' -> Reg.Set.mem c' av_t
+                      | None -> false)
+              | Rpg.Seq_minus t ->
+                  let av_t = available t in
+                  keep_if_nonempty (fun c ->
+                      match shifted c 1 with
+                      | Some c' -> Reg.Set.mem c' av_t
+                      | None -> false)
+              | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
+          resolved;
+        List.iter
+          (fun (u, (p : Rpg.pref)) ->
+            if Reg.is_virtual u && color_of u = None
+               && not (Reg.Set.mem u !spilled)
+            then
+              let av_u = available u in
+              match p.Rpg.target with
+              | Rpg.Coalesce _ ->
+                  keep_if_nonempty (fun c -> Reg.Set.mem c av_u)
+              | Rpg.Seq_plus _ ->
+                  (* u wants reg(n)+1. *)
+                  keep_if_nonempty (fun c ->
+                      match shifted c 1 with
+                      | Some c' -> Reg.Set.mem c' av_u
+                      | None -> false)
+              | Rpg.Seq_minus _ ->
+                  keep_if_nonempty (fun c ->
+                      match shifted c (-1) with
+                      | Some c' -> Reg.Set.mem c' av_u
+                      | None -> false)
+              | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
+          (Rpg.incoming rpg n);
+        (* Step 4.4: deterministic final pick. *)
+        let score c =
+          if fallback_nonvolatile_first then
+            if Machine.is_volatile m c then 0 else 1
+          else
+            Strength.weight_for
+              ~volatile:(Machine.is_volatile m c)
+              (Strength.volatility str n)
+        in
+        let choice =
+          Reg.Set.fold
+            (fun c acc ->
+              match acc with
+              | None -> Some c
+              | Some b ->
+                  if
+                    score c > score b
+                    || (score c = score b && Reg.compare c b < 0)
+                  then Some c
+                  else acc)
+            !current None
+        in
+        match choice with
+        | Some c ->
+            Reg.Tbl.replace colors n c;
+            finish n
+        | None -> spill n
+      end
+    end
+  in
+  let guard = ref (List.length (Cpg.nodes cpg) + 1) in
+  let rec loop () =
+    decr guard;
+    if !guard < 0 then invalid_arg "Pdgc_select.run: traversal did not settle";
+    match pick_node () with
+    | None -> ()
+    | Some n ->
+        assign n;
+        loop ()
+  in
+  loop ();
+  { colors; spilled = !spilled; stats = !stats }

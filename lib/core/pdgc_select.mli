@@ -1,0 +1,59 @@
+(** Integrated register selection (paper §5.3).
+
+    Iterates over the ready nodes of the {!Cpg} (those whose every
+    predecessor has been processed), choosing at each step the node
+    whose honorable preferences have the largest strength differential,
+    then picks its register by screening the available set through its
+    preferences from strongest to weakest:
+
+    - 2.1/2.2: preferences that cannot be honored (target register
+      taken, sequential target out of range, target spilled) are
+      eliminated; live-range-to-live-range preferences whose target is
+      not yet allocated are set aside;
+    - 2.3/3: the node with the largest differential between its
+      strongest and weakest honorable preference goes first (a single
+      preference counts against the zero no-preference baseline);
+    - 4.1: no free register means a spill; a strongest preference for
+      memory means an active spill (§5.4);
+    - 4.2: each preference screens the surviving register set, skipped
+      if screening would empty it;
+    - 4.3: set-aside preferences (and preferences of unallocated nodes
+      targeting this one) veto registers that would make their later
+      honoring impossible;
+    - 4.4: among survivors, take the register whose kind benefits the
+      node most (index order as tie-break). *)
+
+(** Ready-node choice policy — the ablation axis for §5.3 step 3. *)
+type policy =
+  | Differential
+      (** the paper's rule: largest strength differential first *)
+  | Strongest  (** greedy: strongest single preference first *)
+  | Fifo  (** queue order; ignores preferences when choosing nodes *)
+
+type stats = {
+  honored_coalesce : int;
+  honored_sequential : int;
+  honored_kind : int;
+  honored_limited : int;
+  active_spills : int;
+}
+
+type outcome = {
+  colors : Reg.t Reg.Tbl.t;  (** web -> physical register *)
+  spilled : Reg.Set.t;
+  stats : stats;
+}
+
+val run :
+  Machine.t ->
+  Igraph.t ->
+  Rpg.t ->
+  Cpg.t ->
+  Strength.t ->
+  no_spill:(Reg.t -> bool) ->
+  spill_risk:Reg.Set.t ->
+  policy:policy ->
+  fallback_nonvolatile_first:bool ->
+  outcome
+(** [spill_risk] is the set of optimistically pushed (potential spill)
+    nodes; they are selected from the ready queue first. *)

@@ -1,0 +1,203 @@
+type ptype =
+  | Coalesce of Reg.t
+  | Seq_plus of Reg.t
+  | Seq_minus of Reg.t
+  | Kind
+  | In_limited
+  | Memory
+
+type pref = { target : ptype; weight : Strength.weight; instr_id : int option }
+
+type t = {
+  out_edges : pref list Reg.Tbl.t;
+  in_edges : (Reg.t * pref) list Reg.Tbl.t;
+  pair_list : (int * Reg.t * Reg.t) list;
+  str : Strength.t;
+}
+
+let strength _str p =
+  match p.target with
+  | Memory -> Strength.best p.weight (* stored as {s; s} *)
+  | Coalesce _ | Seq_plus _ | Seq_minus _ | Kind | In_limited ->
+      Strength.best p.weight
+
+let prefs t r =
+  match Reg.Tbl.find_opt t.out_edges r with
+  | Some ps ->
+      List.sort (fun a b -> compare (strength t.str b) (strength t.str a)) ps
+  | None -> []
+
+let incoming t r =
+  match Reg.Tbl.find_opt t.in_edges r with Some l -> l | None -> []
+
+let pairs t = t.pair_list
+
+(* Adjacent loads off the same base at consecutive word offsets, the
+   first destination not clobbering the shared base. *)
+let paired_candidates (fn : Cfg.func) =
+  let word = 8 in
+  let rec scan acc = function
+    | ({ Instr.kind = Instr.Load l1; _ } as i1)
+      :: ({ Instr.kind = Instr.Load l2; _ } as i2)
+      :: rest
+      when Reg.equal l1.base l2.base
+           && l2.offset = l1.offset + word
+           && (not (Reg.equal l1.dst l2.dst))
+           && (not (Reg.equal l1.dst l1.base))
+           && Cfg.cls_of fn l1.dst = Cfg.cls_of fn l2.dst ->
+        scan ((i1, i2) :: acc) rest
+    | _ :: rest -> scan acc rest
+    | [] -> acc
+  in
+  List.concat_map (fun (b : Cfg.block) -> scan [] b.Cfg.instrs) fn.Cfg.blocks
+
+let build ?(kinds = `All) (_m : Machine.t) (fn : Cfg.func) (str : Strength.t) =
+  let out_edges = Reg.Tbl.create 128 in
+  let in_edges = Reg.Tbl.create 128 in
+  let add_out r p =
+    if Reg.is_virtual r then begin
+      let cur = try Reg.Tbl.find out_edges r with Not_found -> [] in
+      Reg.Tbl.replace out_edges r (p :: cur)
+    end
+  in
+  let add_in target src p =
+    if Reg.is_virtual target then begin
+      let cur = try Reg.Tbl.find in_edges target with Not_found -> [] in
+      Reg.Tbl.replace in_edges target ((src, p) :: cur)
+    end
+  in
+  (* Coalesce edges from every copy, in both directions. *)
+  Cfg.iter_instrs fn (fun _ i ->
+      match i.Instr.kind with
+      | Instr.Move { dst; src }
+        when (not (Reg.equal dst src)) && Cfg.cls_of fn dst = Cfg.cls_of fn src
+        ->
+          let edge v target =
+            let p =
+              {
+                target = Coalesce target;
+                weight = Strength.coalesce str v ~instr_id:i.Instr.id;
+                instr_id = Some i.Instr.id;
+              }
+            in
+            add_out v p;
+            add_in target v p
+          in
+          edge dst src;
+          edge src dst
+      | _ -> ());
+  let pair_list = ref [] in
+  if kinds = `All then begin
+    (* Sequential± edges from paired-load candidates. *)
+    List.iter
+      (fun (lo, hi) ->
+        let lo_dst =
+          match lo.Instr.kind with
+          | Instr.Load { dst; _ } -> dst
+          | _ -> assert false
+        and hi_dst =
+          match hi.Instr.kind with
+          | Instr.Load { dst; _ } -> dst
+          | _ -> assert false
+        in
+        pair_list := (hi.Instr.id, lo_dst, hi_dst) :: !pair_list;
+        let p_hi =
+          {
+            target = Seq_plus lo_dst;
+            weight = Strength.sequential str hi_dst ~instr_id:hi.Instr.id;
+            instr_id = Some hi.Instr.id;
+          }
+        in
+        add_out hi_dst p_hi;
+        add_in lo_dst hi_dst p_hi;
+        let p_lo =
+          {
+            target = Seq_minus hi_dst;
+            weight = Strength.sequential str lo_dst ~instr_id:hi.Instr.id;
+            instr_id = Some hi.Instr.id;
+          }
+        in
+        add_out lo_dst p_lo;
+        add_in hi_dst lo_dst p_lo)
+      (paired_candidates fn);
+    (* Limited-set preferences. *)
+    Cfg.iter_instrs fn (fun _ i ->
+        match i.Instr.kind with
+        | Instr.Limited { dst; _ } ->
+            add_out dst
+              {
+                target = In_limited;
+                weight = Strength.limited str dst ~instr_id:i.Instr.id;
+                instr_id = Some i.Instr.id;
+              }
+        | _ -> ());
+    (* Volatility and memory preferences for every live range. *)
+    Reg.Set.iter
+      (fun r ->
+        add_out r { target = Kind; weight = Strength.volatility str r; instr_id = None };
+        let mem = Strength.memory str r in
+        if mem > 0 then
+          add_out r
+            {
+              target = Memory;
+              weight = { Strength.vol = mem; nonvol = mem };
+              instr_id = None;
+            })
+      (Cfg.all_vregs fn)
+  end;
+  { out_edges; in_edges; pair_list = !pair_list; str }
+
+let pp_ptype ppf = function
+  | Coalesce r -> Format.fprintf ppf "coalesce %a" Reg.pp r
+  | Seq_plus r -> Format.fprintf ppf "seq+ %a" Reg.pp r
+  | Seq_minus r -> Format.fprintf ppf "seq- %a" Reg.pp r
+  | Kind -> Format.pp_print_string ppf "kind"
+  | In_limited -> Format.pp_print_string ppf "limited"
+  | Memory -> Format.pp_print_string ppf "memory"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Reg.Tbl.iter
+    (fun r ps ->
+      List.iter
+        (fun p ->
+          Format.fprintf ppf "%a --[%a]--> %a@ " Reg.pp r Strength.pp_weight
+            p.weight pp_ptype p.target)
+        ps)
+    t.out_edges;
+  Format.fprintf ppf "@]"
+
+let to_dot ?(name = Reg.to_string) ppf t =
+  Format.fprintf ppf "digraph rpg {@.";
+  Reg.Tbl.iter
+    (fun r ps ->
+      List.iter
+        (fun p ->
+          let w = Format.asprintf "%a" Strength.pp_weight p.weight in
+          match p.target with
+          | Coalesce x ->
+              Format.fprintf ppf "  \"%s\" -> \"%s\" [label=\"coalesce %s\"];@."
+                (name r) (name x) w
+          | Seq_plus x ->
+              Format.fprintf ppf
+                "  \"%s\" -> \"%s\" [style=dashed,label=\"seq+ %s\"];@."
+                (name r) (name x) w
+          | Seq_minus x ->
+              Format.fprintf ppf
+                "  \"%s\" -> \"%s\" [style=dashed,label=\"seq- %s\"];@."
+                (name r) (name x) w
+          | Kind ->
+              Format.fprintf ppf
+                "  \"%s\" -> \"kind\" [style=dotted,label=\"%s\"];@."
+                (name r) w
+          | In_limited ->
+              Format.fprintf ppf
+                "  \"%s\" -> \"limited\" [style=dotted,label=\"%s\"];@."
+                (name r) w
+          | Memory ->
+              Format.fprintf ppf
+                "  \"%s\" -> \"memory\" [style=dotted,label=\"%s\"];@."
+                (name r) w)
+        ps)
+    t.out_edges;
+  Format.fprintf ppf "}@."

@@ -1,0 +1,100 @@
+type weight = { vol : int; nonvol : int }
+
+let best w = max w.vol w.nonvol
+let weight_for ~volatile w = if volatile then w.vol else w.nonvol
+let pp_weight ppf w = Format.fprintf ppf "vol:%d, n-vol:%d" w.vol w.nonvol
+
+type t = {
+  costs : Spill_cost.t;
+  crossings : int Reg.Tbl.t; (* freq-weighted calls crossed *)
+  freq : (int, int) Hashtbl.t; (* instr id -> frequency *)
+  last_use : (int, Reg.Set.t) Hashtbl.t;
+      (* instr id -> registers it uses that die there *)
+  defs_at : (int, Reg.Set.t) Hashtbl.t; (* instr id -> defined registers *)
+}
+
+let create (fn : Cfg.func) =
+  let costs = Spill_cost.compute fn in
+  let live = Liveness.compute fn in
+  let loops = Loops.compute fn in
+  let crossings = Reg.Tbl.create 64 in
+  let freq = Hashtbl.create 256 in
+  let last_use = Hashtbl.create 64 in
+  let defs_at = Hashtbl.create 256 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      let f = Loops.frequency loops b.Cfg.label in
+      ignore
+        (Liveness.fold_block_backward live b ~init:()
+           ~f:(fun () ~live_out i ->
+             Hashtbl.replace freq i.Instr.id f;
+             Hashtbl.replace defs_at i.Instr.id
+               (Reg.Set.of_list (Instr.defs i.Instr.kind));
+             let dying =
+               List.filter
+                 (fun r -> not (Reg.Set.mem r live_out))
+                 (Instr.uses i.Instr.kind)
+               |> Reg.Set.of_list
+             in
+             if not (Reg.Set.is_empty dying) then
+               Hashtbl.replace last_use i.Instr.id dying;
+             match i.Instr.kind with
+             | Instr.Call { dst; _ } ->
+                 let across =
+                   match dst with
+                   | Some d -> Reg.Set.remove d live_out
+                   | None -> live_out
+                 in
+                 Reg.Set.iter
+                   (fun r ->
+                     if Reg.is_virtual r then begin
+                       let cur =
+                         try Reg.Tbl.find crossings r with Not_found -> 0
+                       in
+                       Reg.Tbl.replace crossings r (cur + f)
+                     end)
+                   across
+             | _ -> ())))
+    fn.Cfg.blocks;
+  { costs; crossings; freq; last_use; defs_at }
+
+let spill_cost t r = Spill_cost.spill_cost t.costs r
+let crossings t r = try Reg.Tbl.find t.crossings r with Not_found -> 0
+let freq_of_instr t id = try Hashtbl.find t.freq id with Not_found -> 1
+
+(* Call_Cost(V) per register kind. *)
+let call_cost t r =
+  { vol = Costs.save_restore * crossings t r; nonvol = Costs.callee_save }
+
+let base t r ~discount =
+  let cc = call_cost t r in
+  let s = spill_cost t r + discount in
+  { vol = s - cc.vol; nonvol = s - cc.nonvol }
+
+let volatility t r = base t r ~discount:0
+
+let coalesce t r ~instr_id =
+  (* Ideal_Inst_Cost drops to 0 when the copy defines V or is V's last
+     use — in both cases honoring the coalesce deletes the copy. *)
+  let defines =
+    match Hashtbl.find_opt t.defs_at instr_id with
+    | Some s -> Reg.Set.mem r s
+    | None -> false
+  in
+  let dies =
+    match Hashtbl.find_opt t.last_use instr_id with
+    | Some s -> Reg.Set.mem r s
+    | None -> false
+  in
+  let discount =
+    if defines || dies then Costs.op * freq_of_instr t instr_id else 0
+  in
+  base t r ~discount
+
+let sequential t r ~instr_id =
+  base t r ~discount:(Costs.memory_op * freq_of_instr t instr_id)
+
+let limited t r ~instr_id =
+  base t r ~discount:(Costs.limited_fixup * freq_of_instr t instr_id)
+
+let memory t r = max 0 (-best (volatility t r))

@@ -1,0 +1,88 @@
+type t = {
+  rpo : Instr.label list;
+  rpo_index : (Instr.label, int) Hashtbl.t;
+  idoms : (Instr.label, Instr.label) Hashtbl.t; (* entry maps to itself *)
+  entry : Instr.label;
+  kids : (Instr.label, Instr.label list) Hashtbl.t;
+  frontiers : (Instr.label, Instr.label list) Hashtbl.t;
+}
+
+let compute (f : Cfg.func) =
+  let rpo = Cfg.reverse_postorder f in
+  let rpo_index = Hashtbl.create 16 in
+  List.iteri (fun i l -> Hashtbl.replace rpo_index l i) rpo;
+  let preds_all = Cfg.predecessors f in
+  let reachable l = Hashtbl.mem rpo_index l in
+  let preds l =
+    (try Hashtbl.find preds_all l with Not_found -> [])
+    |> List.filter reachable
+  in
+  let idoms = Hashtbl.create 16 in
+  Hashtbl.replace idoms f.Cfg.entry f.Cfg.entry;
+  let index l = Hashtbl.find rpo_index l in
+  let rec intersect a b =
+    if a = b then a
+    else if index a > index b then intersect (Hashtbl.find idoms a) b
+    else intersect a (Hashtbl.find idoms b)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun l ->
+        if l <> f.Cfg.entry then begin
+          let processed = List.filter (Hashtbl.mem idoms) (preds l) in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if Hashtbl.find_opt idoms l <> Some new_idom then begin
+                Hashtbl.replace idoms l new_idom;
+                changed := true
+              end
+        end)
+      rpo
+  done;
+  let kids = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      if l <> f.Cfg.entry then begin
+        let d = Hashtbl.find idoms l in
+        let cur = try Hashtbl.find kids d with Not_found -> [] in
+        Hashtbl.replace kids d (l :: cur)
+      end)
+    rpo;
+  let frontiers = Hashtbl.create 16 in
+  List.iter
+    (fun l ->
+      match preds l with
+      | _ :: _ :: _ as ps ->
+          let target_idom = Hashtbl.find idoms l in
+          List.iter
+            (fun p ->
+              let runner = ref p in
+              while !runner <> target_idom do
+                let cur =
+                  try Hashtbl.find frontiers !runner with Not_found -> []
+                in
+                if not (List.mem l cur) then
+                  Hashtbl.replace frontiers !runner (l :: cur);
+                runner := Hashtbl.find idoms !runner
+              done)
+            ps
+      | _ -> ())
+    rpo;
+  { rpo; rpo_index; idoms; entry = f.Cfg.entry; kids; frontiers }
+
+let idom t l =
+  if not (Hashtbl.mem t.rpo_index l) then raise Not_found;
+  if l = t.entry then None else Some (Hashtbl.find t.idoms l)
+
+let rec dominates t a b =
+  if a = b then true
+  else if b = t.entry then false
+  else dominates t a (Hashtbl.find t.idoms b)
+
+let children t l = try Hashtbl.find t.kids l with Not_found -> []
+let frontier t l = try Hashtbl.find t.frontiers l with Not_found -> []
+let labels t = t.rpo

@@ -1,0 +1,25 @@
+(** Dominator tree and dominance frontiers.
+
+    Implementation of Cooper, Harvey & Kennedy, "A Simple, Fast
+    Dominance Algorithm".  Only blocks reachable from the entry are
+    considered. *)
+
+type t
+
+val compute : Cfg.func -> t
+
+val idom : t -> Instr.label -> Instr.label option
+(** Immediate dominator; [None] for the entry block.
+    @raise Not_found for unreachable blocks. *)
+
+val dominates : t -> Instr.label -> Instr.label -> bool
+(** [dominates t a b] — does [a] dominate [b] (reflexively)? *)
+
+val children : t -> Instr.label -> Instr.label list
+(** Children in the dominator tree. *)
+
+val frontier : t -> Instr.label -> Instr.label list
+(** Dominance frontier of a block. *)
+
+val labels : t -> Instr.label list
+(** Reachable labels in reverse postorder. *)

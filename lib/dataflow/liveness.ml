@@ -1,0 +1,85 @@
+module Fact = struct
+  type t = Reg.Set.t
+
+  let bottom = Reg.Set.empty
+  let equal = Reg.Set.equal
+  let join = Reg.Set.union
+end
+
+module S = Solver.Make (Fact)
+
+type t = { result : S.result; phi_outflow : (Instr.label, Reg.Set.t) Hashtbl.t }
+
+(* Registers a block makes live in its predecessors via phi sources,
+   keyed by predecessor label. *)
+let phi_outflow (f : Cfg.func) =
+  let tbl = Hashtbl.create 16 in
+  Cfg.iter_instrs f (fun _ i ->
+      List.iter
+        (fun (pred, r) ->
+          let cur = try Hashtbl.find tbl pred with Not_found -> Reg.Set.empty in
+          Hashtbl.replace tbl pred (Reg.Set.add r cur))
+        (Instr.phi_srcs i.Instr.kind));
+  tbl
+
+let transfer_instr live i =
+  let kind = i.Instr.kind in
+  let live = List.fold_left (fun s r -> Reg.Set.remove r s) live (Instr.defs kind) in
+  match kind with
+  | Instr.Phi _ -> live (* phi uses flow into predecessors, not here *)
+  | _ -> List.fold_left (fun s r -> Reg.Set.add r s) live (Instr.uses kind)
+
+let compute (f : Cfg.func) =
+  let outflow = phi_outflow f in
+  let transfer (b : Cfg.block) live_out =
+    let live_out =
+      match Hashtbl.find_opt outflow b.Cfg.label with
+      | Some extra -> Reg.Set.union live_out extra
+      | None -> live_out
+    in
+    List.fold_left transfer_instr live_out (List.rev b.Cfg.instrs)
+  in
+  let result = S.solve ~direction:Solver.Backward ~transfer f in
+  { result; phi_outflow = outflow }
+
+let live_out t l =
+  let base =
+    try Hashtbl.find t.result.S.input l with Not_found -> Reg.Set.empty
+  in
+  match Hashtbl.find_opt t.phi_outflow l with
+  | Some extra -> Reg.Set.union base extra
+  | None -> base
+
+let live_in t l =
+  try Hashtbl.find t.result.S.output l with Not_found -> Reg.Set.empty
+
+let fold_block_backward t (b : Cfg.block) ~init ~f =
+  let live = ref (live_out t b.Cfg.label) in
+  List.fold_left
+    (fun acc i ->
+      let acc = f acc ~live_out:!live i in
+      live := transfer_instr !live i;
+      acc)
+    init (List.rev b.Cfg.instrs)
+
+let live_across_calls (f : Cfg.func) t =
+  let counts = Hashtbl.create 64 in
+  let bump r =
+    let cur = try Hashtbl.find counts r with Not_found -> 0 in
+    Hashtbl.replace counts r (cur + 1)
+  in
+  List.iter
+    (fun b ->
+      ignore
+        (fold_block_backward t b ~init:() ~f:(fun () ~live_out i ->
+             match i.Instr.kind with
+             | Instr.Call { dst; _ } ->
+                 let across =
+                   match dst with
+                   | Some d -> Reg.Set.remove d live_out
+                   | None -> live_out
+                 in
+                 Reg.Set.iter bump across
+             | _ -> ())))
+    f.Cfg.blocks;
+  counts

@@ -1,0 +1,28 @@
+(** Liveness analysis.
+
+    Backward may-analysis: a register is live at a point if some path
+    from the point reaches a use before any redefinition.  Phi
+    instructions are handled SSA-style: a phi's sources are live out of
+    the corresponding predecessor, not live into the phi's block. *)
+
+type t
+
+val compute : Cfg.func -> t
+
+val live_in : t -> Instr.label -> Reg.Set.t
+val live_out : t -> Instr.label -> Reg.Set.t
+
+val fold_block_backward :
+  t ->
+  Cfg.block ->
+  init:'a ->
+  f:('a -> live_out:Reg.Set.t -> Instr.t -> 'a) ->
+  'a
+(** Walk a block's instructions from last to first; [f] receives each
+    instruction together with the set of registers live immediately
+    after it. *)
+
+val live_across_calls : Cfg.func -> t -> (Reg.t, int) Hashtbl.t
+(** For every register, the number of call sites it is live across
+    (live after the call and not just defined by it).  Registers never
+    live across a call are absent. *)

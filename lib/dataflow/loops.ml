@@ -1,0 +1,48 @@
+type t = {
+  depths : (Instr.label, int) Hashtbl.t;
+  headers : Instr.label list;
+}
+
+(* For each back edge n -> h (h dominates n), the natural loop is h plus
+   every block that reaches n without passing through h.  Nesting depth
+   of a block = number of natural loops containing it. *)
+let compute (f : Cfg.func) =
+  let depths = Hashtbl.create 16 in
+  let headers = ref [] in
+  let dom = Dominance.compute f in
+  let preds = Cfg.predecessors f in
+  List.iter (fun l -> Hashtbl.replace depths l 0) (Dominance.labels dom);
+  List.iter
+    (fun n ->
+      List.iter
+        (fun h ->
+          if Dominance.dominates dom h n then begin
+            if not (List.mem h !headers) then headers := h :: !headers;
+            let body = Hashtbl.create 16 in
+            Hashtbl.replace body h ();
+            let rec pull m =
+              if not (Hashtbl.mem body m) then begin
+                Hashtbl.replace body m ();
+                List.iter pull (try Hashtbl.find preds m with Not_found -> [])
+              end
+            in
+            pull n;
+            Hashtbl.iter
+              (fun l () ->
+                match Hashtbl.find_opt depths l with
+                | Some d -> Hashtbl.replace depths l (d + 1)
+                | None -> () (* unreachable block *))
+              body
+          end)
+        (Cfg.successors (Cfg.block f n)))
+    (Dominance.labels dom);
+  { depths; headers = !headers }
+
+let depth t l = try Hashtbl.find t.depths l with Not_found -> 0
+
+let frequency t l =
+  let d = min (depth t l) 6 in
+  let rec pow acc n = if n = 0 then acc else pow (acc * 10) (n - 1) in
+  pow 1 d
+
+let loop_headers t = t.headers

@@ -1,0 +1,18 @@
+(** Natural loops and the paper's execution-frequency heuristic.
+
+    The paper estimates instruction execution frequencies "by heuristics
+    based on program structure" and uses [Freq_Fact = 10] per loop level
+    in the Appendix; we reproduce that: a block at loop-nesting depth
+    [d] has frequency [10^d] (capped to avoid overflow). *)
+
+type t
+
+val compute : Cfg.func -> t
+
+val depth : t -> Instr.label -> int
+(** Loop-nesting depth; 0 outside any loop. *)
+
+val frequency : t -> Instr.label -> int
+(** [10 ^ min (depth, 6)]. *)
+
+val loop_headers : t -> Instr.label list

@@ -1,0 +1,64 @@
+module Int_set = Set.Make (Int)
+
+module Fact = struct
+  type t = Int_set.t
+
+  let bottom = Int_set.empty
+  let equal = Int_set.equal
+  let join = Int_set.union
+end
+
+module S = Solver.Make (Fact)
+
+type t = {
+  result : S.result;
+  def_reg : (int, Reg.t) Hashtbl.t;
+  reg_defs : int list Reg.Tbl.t;
+}
+
+let def_of_instr (i : Instr.t) =
+  match Instr.defs i.Instr.kind with
+  | [ r ] when Reg.is_virtual r -> Some (i.Instr.id, r)
+  | _ -> None
+
+let transfer_instr def_tables live i =
+  match def_of_instr i with
+  | None -> live
+  | Some (id, r) ->
+      let _, reg_defs = def_tables in
+      let others = try Reg.Tbl.find reg_defs r with Not_found -> [] in
+      let live = List.fold_left (fun s d -> Int_set.remove d s) live others in
+      Int_set.add id live
+
+let compute (f : Cfg.func) =
+  let def_reg = Hashtbl.create 64 in
+  let reg_defs = Reg.Tbl.create 64 in
+  Cfg.iter_instrs f (fun _ i ->
+      match def_of_instr i with
+      | Some (id, r) ->
+          Hashtbl.replace def_reg id r;
+          let cur = try Reg.Tbl.find reg_defs r with Not_found -> [] in
+          Reg.Tbl.replace reg_defs r (id :: cur)
+      | None -> ());
+  let tables = (def_reg, reg_defs) in
+  let transfer (b : Cfg.block) incoming =
+    List.fold_left (transfer_instr tables) incoming b.Cfg.instrs
+  in
+  let result = S.solve ~direction:Solver.Forward ~transfer f in
+  { result; def_reg; reg_defs }
+
+let reg_of_def t id = Hashtbl.find t.def_reg id
+let defs_of_reg t r = try Reg.Tbl.find t.reg_defs r with Not_found -> []
+
+let reaching_in t l =
+  try Hashtbl.find t.result.S.input l with Not_found -> Int_set.empty
+
+let fold_block_forward t (b : Cfg.block) ~init ~f =
+  let tables = (t.def_reg, t.reg_defs) in
+  let reaching = ref (reaching_in t b.Cfg.label) in
+  List.fold_left
+    (fun acc i ->
+      let acc = f acc ~reaching:!reaching i in
+      reaching := transfer_instr tables !reaching i;
+      acc)
+    init b.Cfg.instrs

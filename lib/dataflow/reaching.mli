@@ -1,0 +1,30 @@
+(** Reaching definitions.
+
+    A definition site is identified by the id of the defining
+    instruction (every IR instruction defines at most one register).
+    Used by web construction (Chaitin's "renumber" phase). *)
+
+module Int_set : Set.S with type elt = int
+
+type t
+
+val compute : Cfg.func -> t
+
+val reg_of_def : t -> int -> Reg.t
+(** Register defined by a definition site. *)
+
+val defs_of_reg : t -> Reg.t -> int list
+(** All definition sites of a register. *)
+
+val reaching_in : t -> Instr.label -> Int_set.t
+(** Definition sites reaching the entry of a block. *)
+
+val fold_block_forward :
+  t ->
+  Cfg.block ->
+  init:'a ->
+  f:('a -> reaching:Int_set.t -> Instr.t -> 'a) ->
+  'a
+(** Walk a block's instructions first to last; [f] receives each
+    instruction with the definitions reaching it (before its own
+    effects). *)

@@ -1,0 +1,78 @@
+type direction = Forward | Backward
+
+module type FACT = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (F : FACT) = struct
+  type result = {
+    input : (Instr.label, F.t) Hashtbl.t;
+    output : (Instr.label, F.t) Hashtbl.t;
+  }
+
+  let solve ~direction ~transfer ?(entry_fact = F.bottom) (f : Cfg.func) =
+    let labels = Cfg.reverse_postorder f in
+    let preds = Cfg.predecessors f in
+    let succs = Hashtbl.create 16 in
+    List.iter
+      (fun l -> Hashtbl.replace succs l (Cfg.successors (Cfg.block f l)))
+      labels;
+    (* Sources of a block's input fact and sinks of its output fact,
+       depending on direction. *)
+    let feeds_from, feeds_to =
+      match direction with
+      | Forward ->
+          ( (fun l -> try Hashtbl.find preds l with Not_found -> []),
+            fun l -> Hashtbl.find succs l )
+      | Backward ->
+          ( (fun l -> Hashtbl.find succs l),
+            fun l -> try Hashtbl.find preds l with Not_found -> [] )
+    in
+    let input = Hashtbl.create 16 in
+    let output = Hashtbl.create 16 in
+    List.iter
+      (fun l ->
+        Hashtbl.replace input l F.bottom;
+        Hashtbl.replace output l F.bottom)
+      labels;
+    let is_boundary l =
+      match direction with
+      | Forward -> l = f.Cfg.entry
+      | Backward -> feeds_from l = []
+    in
+    (* Iterate in an order matching the direction so most functions
+       converge in two sweeps. *)
+    let order =
+      match direction with Forward -> labels | Backward -> List.rev labels
+    in
+    let pending = Queue.create () in
+    let queued = Hashtbl.create 16 in
+    let enqueue l =
+      if not (Hashtbl.mem queued l) then begin
+        Hashtbl.replace queued l ();
+        Queue.add l pending
+      end
+    in
+    List.iter enqueue order;
+    while not (Queue.is_empty pending) do
+      let l = Queue.pop pending in
+      Hashtbl.remove queued l;
+      let incoming =
+        List.fold_left
+          (fun acc p -> F.join acc (Hashtbl.find output p))
+          (if is_boundary l then entry_fact else F.bottom)
+          (feeds_from l)
+      in
+      Hashtbl.replace input l incoming;
+      let out = transfer (Cfg.block f l) incoming in
+      if not (F.equal out (Hashtbl.find output l)) then begin
+        Hashtbl.replace output l out;
+        List.iter enqueue (feeds_to l)
+      end
+    done;
+    { input; output }
+end

@@ -1,0 +1,36 @@
+(** Generic iterative dataflow solver over basic blocks.
+
+    Instantiate with a join semilattice of facts and a per-block
+    transfer function; the solver runs a worklist to the fixpoint.  The
+    direction decides whether facts flow along or against control-flow
+    edges. *)
+
+type direction = Forward | Backward
+
+module type FACT = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+module Make (F : FACT) : sig
+  type result = {
+    input : (Instr.label, F.t) Hashtbl.t;
+        (** For [Forward]: fact at block entry.  For [Backward]: fact at
+            block exit. *)
+    output : (Instr.label, F.t) Hashtbl.t;
+        (** The transferred fact on the other side of the block. *)
+  }
+
+  val solve :
+    direction:direction ->
+    transfer:(Cfg.block -> F.t -> F.t) ->
+    ?entry_fact:F.t ->
+    Cfg.func ->
+    result
+  (** [transfer b fact] maps the block-[input] fact to the block-[output]
+      fact.  [entry_fact] seeds the entry block (forward) or every exit
+      block (backward); defaults to [F.bottom]. *)
+end

@@ -1,0 +1,79 @@
+type row = { test : string; relative : (string * float) list }
+
+let pdgc_with ?(rematerialize = false) policy relax_order =
+  Pdgc.allocate_config
+    { Pdgc.variant = Pdgc.Full_preferences; policy; relax_order; rematerialize }
+
+let configs =
+  [
+    ("paper (differential)", pdgc_with Pdgc_select.Differential true);
+    ("strongest-first", pdgc_with Pdgc_select.Strongest true);
+    ("fifo", pdgc_with Pdgc_select.Fifo true);
+    ("strict stack order", pdgc_with Pdgc_select.Differential false);
+    ( "with rematerialization",
+      pdgc_with ~rematerialize:true Pdgc_select.Differential true );
+    ("priority-based", Priority_based.allocate);
+  ]
+
+let run () =
+  let m = Machine.middle_pressure in
+  List.map
+    (fun name ->
+      let prepared = Pipeline.prepare m (Suite.program name) in
+      let cycles allocate =
+        let algo =
+          { Pipeline.key = "ablation"; label = "ablation"; allocate }
+        in
+        Pipeline.cycles (Pipeline.allocate_program algo m prepared)
+      in
+      let baseline = cycles (snd (List.hd configs)) in
+      {
+        test = name;
+        relative =
+          List.map
+            (fun (label, allocate) ->
+              (label, float_of_int (cycles allocate) /. float_of_int baseline))
+            configs;
+      })
+    Suite.names
+
+let print ppf rows =
+  Format.fprintf ppf
+    "@[<v>Ablation: cycles relative to the paper configuration (k=24)@,";
+  (match rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%-14s" "test";
+      List.iter (fun (l, _) -> Format.fprintf ppf " %22s" l) first.relative;
+      Format.fprintf ppf "@,");
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      Format.fprintf ppf "%-14s" row.test;
+      List.iter
+        (fun (l, v) ->
+          let cur = try Hashtbl.find sums l with Not_found -> [] in
+          Hashtbl.replace sums l (v :: cur);
+          Format.fprintf ppf " %22s" (Printf.sprintf "%.3f" v))
+        row.relative;
+      Format.fprintf ppf "@,")
+    rows;
+  (match rows with
+  | first :: _ ->
+      Format.fprintf ppf "%-14s" "geo. mean";
+      List.iter
+        (fun (l, _) ->
+          let xs = try Hashtbl.find sums l with Not_found -> [] in
+          let gm =
+            match List.filter (fun x -> x > 0.0) xs with
+            | [] -> 1.0
+            | xs ->
+                exp
+                  (List.fold_left (fun a x -> a +. log x) 0.0 xs
+                  /. float_of_int (List.length xs))
+          in
+          Format.fprintf ppf " %22s" (Printf.sprintf "%.3f" gm))
+        first.relative;
+      Format.fprintf ppf "@,"
+  | [] -> ());
+  Format.fprintf ppf "@]"

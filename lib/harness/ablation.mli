@@ -1,0 +1,26 @@
+(** Ablation study of the design choices DESIGN.md calls out.
+
+    All configurations run the full-preference system at the
+    middle-pressure model (k = 24) over the benchmark suite, varying
+    one axis at a time:
+
+    - {b node choice} (§5.3 step 3): the paper's strength differential
+      vs. greedy strongest-preference-first vs. FIFO;
+    - {b order relaxation} (§5.2): the CPG partial order vs. the strict
+      simplification-stack order (everything else identical);
+    - {b rematerialization} (an extension the paper deliberately leaves
+      out): re-issue spilled constants instead of reloading them;
+    - plus the {b priority-based} allocator of Chow & Hennessy (§7) as
+      the non-Chaitin reference point.
+
+    Rows report simulated cycles relative to the paper configuration. *)
+
+type row = {
+  test : string;
+  relative : (string * float) list;
+      (** configuration label -> cycles / cycles(paper default) *)
+}
+
+val configs : (string * (Machine.t -> Cfg.func -> Alloc_common.result)) list
+val run : unit -> row list
+val print : Format.formatter -> row list -> unit

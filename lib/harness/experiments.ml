@@ -1,0 +1,232 @@
+type fig9_row = { test : string; series : (string * float option) list }
+
+type fig9 = {
+  k : int;
+  moves_ratio : fig9_row list;
+  spills_ratio : fig9_row list;
+}
+
+let fig9_algos =
+  [ Pipeline.briggs_aggressive; Pipeline.optimistic; Pipeline.pdgc_coalescing_only ]
+
+let ratio num den = if den = 0 then None else Some (float_of_int num /. float_of_int den)
+
+(* Eliminated-move and spill-code counts per class for one algorithm on
+   one prepared program. *)
+let fig9_counts algo m prepared =
+  let a = Pipeline.allocate_program algo m prepared in
+  let elim =
+    Metrics.eliminated_moves ~before:prepared ~after:a.Pipeline.program
+  in
+  let spills = Metrics.spill_code a.Pipeline.results in
+  (elim, spills)
+
+let fig9 ~k =
+  let m = Machine.make ~k () in
+  let moves_rows = ref [] and spill_rows = ref [] in
+  List.iter
+    (fun name ->
+      let prepared = Pipeline.prepare m (Suite.program name) in
+      let base_elim, base_spills =
+        fig9_counts Pipeline.chaitin_base m prepared
+      in
+      let per_algo =
+        List.map
+          (fun algo -> (algo.Pipeline.label, fig9_counts algo m prepared))
+          fig9_algos
+      in
+      let add_row rows test proj base =
+        rows :=
+          {
+            test;
+            series =
+              List.map
+                (fun (label, counts) -> (label, ratio (proj counts) base))
+                per_algo;
+          }
+          :: !rows
+      in
+      (* Integer rows for every test; float rows for the fp-heavy ones. *)
+      add_row moves_rows name
+        (fun (e, _) -> e.Metrics.ints)
+        base_elim.Metrics.ints;
+      add_row spill_rows name
+        (fun (_, s) -> s.Metrics.ints)
+        base_spills.Metrics.ints;
+      if List.mem name Suite.fp_names then begin
+        add_row moves_rows (name ^ " fp")
+          (fun (e, _) -> e.Metrics.floats)
+          base_elim.Metrics.floats;
+        add_row spill_rows (name ^ " fp")
+          (fun (_, s) -> s.Metrics.floats)
+          base_spills.Metrics.floats
+      end)
+    Suite.names;
+  { k; moves_ratio = List.rev !moves_rows; spills_ratio = List.rev !spill_rows }
+
+type fig10_row = { test : string; cycles : (string * int) list }
+
+let fig10_algos =
+  [ Pipeline.pdgc_coalescing_only; Pipeline.optimistic; Pipeline.pdgc_full ]
+
+let fig10 ~k =
+  let m = Machine.make ~k () in
+  List.map
+    (fun name ->
+      let prepared = Pipeline.prepare m (Suite.program name) in
+      {
+        test = name;
+        cycles =
+          List.map
+            (fun algo ->
+              let a = Pipeline.allocate_program algo m prepared in
+              (algo.Pipeline.label, Pipeline.cycles a))
+            fig10_algos;
+      })
+    Suite.names
+
+type fig11_row = { test : string; relative : (string * float) list }
+
+let fig11_algos =
+  [
+    Pipeline.pdgc_coalescing_only;
+    Pipeline.optimistic;
+    Pipeline.briggs_aggressive;
+    Pipeline.aggressive_volatility;
+    Pipeline.pdgc_full;
+  ]
+
+let fig11 () =
+  let m = Machine.middle_pressure in
+  List.map
+    (fun name ->
+      let prepared = Pipeline.prepare m (Suite.program name) in
+      let cycles_of algo =
+        Pipeline.cycles (Pipeline.allocate_program algo m prepared)
+      in
+      let full = cycles_of Pipeline.pdgc_full in
+      {
+        test = name;
+        relative =
+          List.map
+            (fun algo ->
+              let c =
+                if algo.Pipeline.key = Pipeline.pdgc_full.Pipeline.key then full
+                else cycles_of algo
+              in
+              (algo.Pipeline.label, float_of_int c /. float_of_int full))
+            fig11_algos;
+      })
+    Suite.names
+
+let geomean xs =
+  match List.filter (fun x -> x > 0.0) xs with
+  | [] -> 1.0
+  | xs ->
+      exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+           /. float_of_int (List.length xs))
+
+let print_fig9 ppf f =
+  let pp_rows title rows =
+    Format.fprintf ppf "@[<v>%s (vs. chaitin+aggressive, k=%d)@," title f.k;
+    (match rows with
+    | [] -> ()
+    | first :: _ ->
+        Format.fprintf ppf "%-14s" "test";
+        List.iter (fun (l, _) -> Format.fprintf ppf " %22s" l) first.series;
+        Format.fprintf ppf "@,");
+    let sums = Hashtbl.create 8 in
+    List.iter
+      (fun (row : fig9_row) ->
+        Format.fprintf ppf "%-14s" row.test;
+        List.iter
+          (fun (l, v) ->
+            Format.fprintf ppf " %22s"
+              (match v with
+              | Some x ->
+                  let cur = try Hashtbl.find sums l with Not_found -> [] in
+                  Hashtbl.replace sums l (x :: cur);
+                  Printf.sprintf "%.3f" x
+              | None -> "n/a");
+            ())
+          row.series;
+        Format.fprintf ppf "@,")
+      rows;
+    (match rows with
+    | first :: _ ->
+        Format.fprintf ppf "%-14s" "geo. mean";
+        List.iter
+          (fun (l, _) ->
+            let xs = try Hashtbl.find sums l with Not_found -> [] in
+            Format.fprintf ppf " %22s" (Printf.sprintf "%.3f" (geomean xs)))
+          first.series
+    | [] -> ());
+    Format.fprintf ppf "@,@]"
+  in
+  pp_rows
+    (Printf.sprintf "Fig. 9(%s): eliminated moves ratio"
+       (if f.k = 16 then "a" else "c"))
+    f.moves_ratio;
+  pp_rows
+    (Printf.sprintf "Fig. 9(%s): generated spill code ratio"
+       (if f.k = 16 then "b" else "d"))
+    f.spills_ratio
+
+let print_fig10 ppf ~k rows =
+  let part = match k with 16 -> "a" | 24 -> "b" | _ -> "c" in
+  Format.fprintf ppf "@[<v>Fig. 10(%s): simulated cycles, k=%d@," part k;
+  (match rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%-14s" "test";
+      List.iter (fun (l, _) -> Format.fprintf ppf " %22s" l) first.cycles;
+      Format.fprintf ppf "@,");
+  List.iter
+    (fun (row : fig10_row) ->
+      Format.fprintf ppf "%-14s" row.test;
+      List.iter (fun (_, c) -> Format.fprintf ppf " %22d" c) row.cycles;
+      Format.fprintf ppf "@,")
+    rows;
+  Format.fprintf ppf "@]"
+
+let print_fig11 ppf rows =
+  Format.fprintf ppf
+    "@[<v>Fig. 11: elapsed time relative to full preferences (k=24)@,";
+  (match rows with
+  | [] -> ()
+  | first :: _ ->
+      Format.fprintf ppf "%-14s" "test";
+      List.iter (fun (l, _) -> Format.fprintf ppf " %22s" l) first.relative;
+      Format.fprintf ppf "@,");
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun (row : fig11_row) ->
+      Format.fprintf ppf "%-14s" row.test;
+      List.iter
+        (fun (l, v) ->
+          let cur = try Hashtbl.find sums l with Not_found -> [] in
+          Hashtbl.replace sums l (v :: cur);
+          Format.fprintf ppf " %22s" (Printf.sprintf "%.3f" v))
+        row.relative;
+      Format.fprintf ppf "@,")
+    rows;
+  (match rows with
+  | first :: _ ->
+      Format.fprintf ppf "%-14s" "geo. mean";
+      List.iter
+        (fun (l, _) ->
+          let xs = try Hashtbl.find sums l with Not_found -> [] in
+          Format.fprintf ppf " %22s" (Printf.sprintf "%.3f" (geomean xs)))
+        first.relative;
+      Format.fprintf ppf "@,"
+  | [] -> ());
+  Format.fprintf ppf "@]"
+
+let print_all ppf () =
+  Format.fprintf ppf "%a@.@." Fig7.print ();
+  Format.fprintf ppf "%a@." print_fig9 (fig9 ~k:16);
+  Format.fprintf ppf "%a@.@." print_fig9 (fig9 ~k:32);
+  List.iter
+    (fun k -> Format.fprintf ppf "%a@.@." (fun ppf -> print_fig10 ppf ~k) (fig10 ~k))
+    [ 16; 24; 32 ];
+  Format.fprintf ppf "%a@." print_fig11 (fig11 ())

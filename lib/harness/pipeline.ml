@@ -1,0 +1,114 @@
+type algo = {
+  key : string;
+  label : string;
+  allocate : Machine.t -> Cfg.func -> Alloc_common.result;
+}
+
+let chaitin_base =
+  { key = "chaitin"; label = "chaitin+aggressive"; allocate = Chaitin.allocate }
+
+let briggs_aggressive =
+  {
+    key = "briggs";
+    label = "Briggs +aggressive";
+    allocate = Briggs.allocate_aggressive;
+  }
+
+let optimistic =
+  { key = "optimistic"; label = "optimistic"; allocate = Park_moon.allocate }
+
+let iterated =
+  { key = "iterated"; label = "iterated"; allocate = Iterated.allocate }
+
+let pdgc_coalescing_only =
+  {
+    key = "pdgc-co";
+    label = "only coalescing";
+    allocate = Pdgc.allocate Pdgc.Coalescing_only;
+  }
+
+let pdgc_full =
+  {
+    key = "pdgc";
+    label = "full preferences";
+    allocate = Pdgc.allocate Pdgc.Full_preferences;
+  }
+
+let aggressive_volatility =
+  {
+    key = "lueh-gross";
+    label = "aggressive+volatility";
+    allocate = Lueh_gross.allocate;
+  }
+
+let priority_based =
+  {
+    key = "priority";
+    label = "priority-based";
+    allocate = Priority_based.allocate;
+  }
+
+let algos =
+  [
+    chaitin_base;
+    briggs_aggressive;
+    optimistic;
+    iterated;
+    pdgc_coalescing_only;
+    pdgc_full;
+    aggressive_volatility;
+  ]
+
+(* Outside [algos]: priority-based coloring omits Chow's live-range
+   splitting, so it is exercised only at moderate pressure (ablation,
+   CLI) rather than in the generic low-k stress tests. *)
+let all_algos = algos @ [ priority_based ]
+
+let find_algo key =
+  match List.find_opt (fun a -> a.key = key) all_algos with
+  | Some a -> a
+  | None -> invalid_arg ("Pipeline.find_algo: unknown algorithm " ^ key)
+
+let prepare m (p : Cfg.program) =
+  let funcs =
+    List.map (fun f -> Ssa_destruct.run (Ssa_construct.run f)) p.Cfg.funcs
+  in
+  Pair_schedule.program (Lower.program m { p with Cfg.funcs })
+
+type allocated = {
+  machine : Machine.t;
+  program : Cfg.program;
+  results : Alloc_common.result list;
+  finals : Finalize.t list;
+  moves_eliminated : int;
+  moves_kept : int;
+  spill_instrs : int;
+  rounds_max : int;
+}
+
+let allocate_program algo m (p : Cfg.program) =
+  let results = List.map (fun f -> algo.allocate m f) p.Cfg.funcs in
+  let finals = List.map (Finalize.apply m) results in
+  let program = { p with Cfg.funcs = List.map (fun t -> t.Finalize.func) finals } in
+  (match Check.machine_program m program with
+  | Ok () -> ()
+  | Error msg -> raise (Alloc_common.Failed (algo.key ^ ": " ^ msg)));
+  {
+    machine = m;
+    program;
+    results;
+    finals;
+    moves_eliminated =
+      List.fold_left (fun acc t -> acc + t.Finalize.moves_eliminated) 0 finals;
+    moves_kept =
+      List.fold_left (fun acc t -> acc + t.Finalize.moves_kept) 0 finals;
+    spill_instrs =
+      List.fold_left
+        (fun acc r -> acc + r.Alloc_common.spill_instrs)
+        0 results;
+    rounds_max =
+      List.fold_left (fun acc r -> max acc r.Alloc_common.rounds) 0 results;
+  }
+
+let cycles a =
+  (Interp.run ~machine:a.machine a.program).Interp.stats.Interp.cycles

@@ -1,0 +1,51 @@
+(** The compilation pipeline shared by experiments, examples and tests.
+
+    [prepare] puts a generated program into the shape the paper's
+    allocator consumes: SSA construction and destruction (leaving the
+    copy-heavy, phi-lowered code of §1), calling-convention lowering
+    against a machine, and local paired-load scheduling (adjacent
+    candidates are what the RPG's sequential± preferences describe).  [allocate_program] then runs one
+    allocator over every function and finalizes the result into
+    executable machine code. *)
+
+type algo = {
+  key : string;  (** short id used on the command line *)
+  label : string;  (** the series name used in the paper's figures *)
+  allocate : Machine.t -> Cfg.func -> Alloc_common.result;
+}
+
+val chaitin_base : algo
+val briggs_aggressive : algo
+val optimistic : algo
+val iterated : algo
+val pdgc_coalescing_only : algo
+val pdgc_full : algo
+val aggressive_volatility : algo
+val priority_based : algo
+
+val algos : algo list
+(** The seven allocators of the paper's evaluation. *)
+
+val all_algos : algo list
+(** [algos] plus the priority-based extension. *)
+
+val find_algo : string -> algo
+
+val prepare : Machine.t -> Cfg.program -> Cfg.program
+
+type allocated = {
+  machine : Machine.t;
+  program : Cfg.program;  (** finalized machine code *)
+  results : Alloc_common.result list;  (** per-function, pre-finalize *)
+  finals : Finalize.t list;
+  moves_eliminated : int;
+  moves_kept : int;
+  spill_instrs : int;
+  rounds_max : int;
+}
+
+val allocate_program : algo -> Machine.t -> Cfg.program -> allocated
+(** @raise Alloc_common.Failed on allocator failure. *)
+
+val cycles : allocated -> int
+(** Dynamic cycles of the finalized program (interpreter). *)

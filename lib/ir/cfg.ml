@@ -1,0 +1,225 @@
+type block = { label : Instr.label; instrs : Instr.t list }
+
+type func = {
+  name : string;
+  entry : Instr.label;
+  blocks : block list;
+  n_params : int;
+  reg_cls : Reg.cls Reg.Tbl.t;
+  mutable next_reg : Reg.t;
+  mutable next_instr_id : int;
+  mutable next_label : Instr.label;
+}
+
+type program = { funcs : func list; main : string }
+
+let create_func ~name ~n_params ~entry =
+  {
+    name;
+    entry;
+    blocks = [];
+    n_params;
+    reg_cls = Reg.Tbl.create 64;
+    next_reg = Reg.first_virtual;
+    next_instr_id = 0;
+    next_label = entry + 1;
+  }
+
+let with_blocks f blocks = { f with blocks }
+
+let clone f =
+  {
+    f with
+    reg_cls = Reg.Tbl.copy f.reg_cls;
+    next_reg = f.next_reg;
+    next_instr_id = f.next_instr_id;
+    next_label = f.next_label;
+  }
+
+let fresh_reg f cls =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  Reg.Tbl.replace f.reg_cls r cls;
+  r
+
+let fresh_label f =
+  let l = f.next_label in
+  f.next_label <- l + 1;
+  l
+
+let instr f kind =
+  let id = f.next_instr_id in
+  f.next_instr_id <- id + 1;
+  { Instr.id; kind }
+
+let cls_of f r =
+  if Reg.is_phys r then Reg.phys_cls r else Reg.Tbl.find f.reg_cls r
+
+let block_opt f l = List.find_opt (fun b -> b.label = l) f.blocks
+
+let block f l =
+  match block_opt f l with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Cfg.block: no block L%d in %s" l f.name)
+
+let terminator b =
+  match List.rev b.instrs with
+  | t :: _ when Instr.is_terminator t.Instr.kind -> t
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
+
+let successors b = Instr.successors (terminator b).Instr.kind
+
+let predecessors f =
+  let preds = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace preds b.label []) f.blocks;
+  List.iter
+    (fun b ->
+      List.iter
+        (fun s ->
+          let cur = try Hashtbl.find preds s with Not_found -> [] in
+          Hashtbl.replace preds s (b.label :: cur))
+        (successors b))
+    f.blocks;
+  preds
+
+let reverse_postorder f =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.replace visited l ();
+      (match block_opt f l with
+      | Some b -> List.iter go (successors b)
+      | None -> ());
+      order := l :: !order
+    end
+  in
+  go f.entry;
+  !order
+
+let iter_instrs f k =
+  List.iter (fun b -> List.iter (fun i -> k b i) b.instrs) f.blocks
+
+let fold_instrs f k init =
+  List.fold_left
+    (fun acc b -> List.fold_left (fun acc i -> k acc b i) acc b.instrs)
+    init f.blocks
+
+let regs_of_func f ~keep =
+  fold_instrs f
+    (fun acc _ i ->
+      let add acc r = if keep r then Reg.Set.add r acc else acc in
+      let acc = List.fold_left add acc (Instr.defs i.Instr.kind) in
+      List.fold_left add acc (Instr.uses i.Instr.kind))
+    Reg.Set.empty
+
+let all_vregs f = regs_of_func f ~keep:Reg.is_virtual
+let all_regs f = regs_of_func f ~keep:(fun _ -> true)
+
+let map_instrs f rewrite =
+  let blocks =
+    List.map
+      (fun b ->
+        {
+          b with
+          instrs =
+            List.map (fun i -> { i with Instr.kind = rewrite i }) b.instrs;
+        })
+      f.blocks
+  in
+  with_blocks f blocks
+
+let find_func p name =
+  match List.find_opt (fun f -> f.name = name) p.funcs with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Cfg.find_func: no function %s" name)
+
+let validate f =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let labels = Hashtbl.create 16 in
+  let exception Invalid of string in
+  try
+    List.iter
+      (fun b ->
+        if Hashtbl.mem labels b.label then
+          raise (Invalid (Printf.sprintf "duplicate label L%d" b.label));
+        Hashtbl.replace labels b.label ())
+      f.blocks;
+    if not (Hashtbl.mem labels f.entry) then
+      raise (Invalid (Printf.sprintf "entry L%d missing" f.entry));
+    let preds = predecessors f in
+    List.iter
+      (fun b ->
+        (match b.instrs with
+        | [] -> raise (Invalid (Printf.sprintf "empty block L%d" b.label))
+        | instrs -> (
+            let n = List.length instrs in
+            List.iteri
+              (fun idx i ->
+                let terminal = Instr.is_terminator i.Instr.kind in
+                if terminal && idx < n - 1 then
+                  raise
+                    (Invalid
+                       (Printf.sprintf "terminator mid-block in L%d" b.label));
+                if (not terminal) && idx = n - 1 then
+                  raise
+                    (Invalid
+                       (Printf.sprintf "block L%d lacks a terminator" b.label)))
+              instrs;
+            (* Phis must form a prefix of the block and their sources
+               must match the predecessors exactly. *)
+            let rec check_phis seen_non_phi = function
+              | [] -> ()
+              | i :: rest -> (
+                  match i.Instr.kind with
+                  | Instr.Phi { srcs; _ } ->
+                      if seen_non_phi then
+                        raise
+                          (Invalid
+                             (Printf.sprintf "phi after non-phi in L%d" b.label));
+                      let ps =
+                        try Hashtbl.find preds b.label with Not_found -> []
+                      in
+                      let src_labels = List.map fst srcs in
+                      if
+                        List.sort compare src_labels
+                        <> List.sort compare ps
+                      then
+                        raise
+                          (Invalid
+                             (Printf.sprintf
+                                "phi sources of L%d do not match predecessors"
+                                b.label));
+                      check_phis seen_non_phi rest
+                  | _ -> check_phis true rest)
+            in
+            check_phis false instrs));
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem labels s) then
+              raise
+                (Invalid
+                   (Printf.sprintf "L%d branches to missing L%d" b.label s)))
+          (successors b))
+      f.blocks;
+    Ok ()
+  with
+  | Invalid msg -> err "%s: %s" f.name msg
+  | Invalid_argument msg -> err "%s: %s" f.name msg
+
+let pp_block ppf b =
+  Format.fprintf ppf "@[<v 2>L%d:@ %a@]" b.label
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Instr.pp)
+    b.instrs
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v>func %s(%d params):@ %a@]" f.name f.n_params
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_block)
+    f.blocks
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_func)
+    p.funcs

@@ -1,0 +1,86 @@
+(** Control-flow graphs, functions and programs.
+
+    A function is a list of basic blocks.  Each block carries a unique
+    label and a non-empty instruction list whose last element is the
+    unique terminator.  The entry block comes first.
+
+    Register metadata (class of each virtual register, the next fresh
+    register and instruction identifiers) lives in mutable tables shared
+    by all rewritten versions of the function, so passes that rebuild
+    the block list keep register identities stable. *)
+
+type block = { label : Instr.label; instrs : Instr.t list }
+
+type func = {
+  name : string;
+  entry : Instr.label;
+  blocks : block list;
+  n_params : int;
+  reg_cls : Reg.cls Reg.Tbl.t;
+  mutable next_reg : Reg.t;
+  mutable next_instr_id : int;
+  mutable next_label : Instr.label;
+}
+
+type program = { funcs : func list; main : string }
+
+(** {1 Construction} *)
+
+val create_func : name:string -> n_params:int -> entry:Instr.label -> func
+(** A function with no blocks yet; fill in with [with_blocks]. *)
+
+val with_blocks : func -> block list -> func
+(** Same function, new body.  Shares register metadata. *)
+
+val clone : func -> func
+(** Deep copy, including register metadata.  Allocators clone their
+    input so that runs do not perturb each other through the shared
+    fresh-name counters. *)
+
+val fresh_reg : func -> Reg.cls -> Reg.t
+val fresh_label : func -> Instr.label
+val instr : func -> Instr.kind -> Instr.t
+(** Wrap a kind with a fresh instruction id. *)
+
+val cls_of : func -> Reg.t -> Reg.cls
+(** Class of any register: physical from the encoding, virtual from the
+    function's table.
+    @raise Not_found if the virtual register was never declared. *)
+
+(** {1 Queries} *)
+
+val block : func -> Instr.label -> block
+val block_opt : func -> Instr.label -> block option
+val successors : block -> Instr.label list
+val terminator : block -> Instr.t
+
+val predecessors : func -> (Instr.label, Instr.label list) Hashtbl.t
+(** Map from block label to predecessor labels. *)
+
+val reverse_postorder : func -> Instr.label list
+(** Reachable blocks in reverse postorder from the entry. *)
+
+val iter_instrs : func -> (block -> Instr.t -> unit) -> unit
+val fold_instrs : func -> ('a -> block -> Instr.t -> 'a) -> 'a -> 'a
+
+val all_vregs : func -> Reg.Set.t
+(** Every virtual register occurring in the body. *)
+
+val all_regs : func -> Reg.Set.t
+(** Every register (virtual and physical) occurring in the body. *)
+
+val map_instrs : func -> (Instr.t -> Instr.kind) -> func
+(** Rewrite every instruction kind in place (ids preserved). *)
+
+val find_func : program -> string -> func
+
+(** {1 Validation and printing} *)
+
+val validate : func -> (unit, string) result
+(** Check structural invariants: non-empty blocks, single trailing
+    terminator, branch targets exist, entry block present, phis only at
+    block heads with sources matching predecessors. *)
+
+val pp_block : Format.formatter -> block -> unit
+val pp_func : Format.formatter -> func -> unit
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,213 @@
+exception Error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type env = {
+  b : Builder.t;
+  vars : (string, Reg.t * Reg.cls) Hashtbl.t;
+  sigs : (string, int) Hashtbl.t; (* function name -> arity *)
+  fn_name : string;
+}
+
+(* Coerce a value to the wanted class when needed. *)
+let coerce env wanted (r, actual) =
+  if wanted = actual then r
+  else
+    match wanted with
+    | Reg.Float_class -> Builder.unop env.b Instr.Itof r
+    | Reg.Int_class -> Builder.unop env.b Instr.Ftoi r
+
+(* Unify two operands: float wins. *)
+let unify env (r1, c1) (r2, c2) =
+  match (c1, c2) with
+  | Reg.Float_class, _ | _, Reg.Float_class ->
+      ( coerce env Reg.Float_class (r1, c1),
+        coerce env Reg.Float_class (r2, c2),
+        Reg.Float_class )
+  | Reg.Int_class, Reg.Int_class -> (r1, r2, Reg.Int_class)
+
+(* Compile an expression to (register, class). *)
+let rec compile_expr env (e : Mini_ast.expr) : Reg.t * Reg.cls =
+  match e with
+  | Mini_ast.Int n -> (Builder.iconst env.b n, Reg.Int_class)
+  | Mini_ast.Float f -> (Builder.fconst env.b f, Reg.Float_class)
+  | Mini_ast.Var x -> (
+      match Hashtbl.find_opt env.vars x with
+      | Some (r, cls) -> (r, cls)
+      | None -> err "%s: unbound variable %s" env.fn_name x)
+  | Mini_ast.Neg e ->
+      let r, cls = compile_expr env e in
+      (Builder.unop env.b Instr.Neg r, cls)
+  | Mini_ast.Mem addr ->
+      let base, offset = compile_address env addr in
+      (Builder.load env.b ~base ~offset (), Reg.Int_class)
+  | Mini_ast.Call (f, args) -> (
+      match Hashtbl.find_opt env.sigs f with
+      | None -> err "%s: unknown function %s" env.fn_name f
+      | Some arity when arity <> List.length args ->
+          err "%s: %s expects %d arguments, got %d" env.fn_name f arity
+            (List.length args)
+      | Some _ ->
+          let actuals = List.map (fun a -> fst (compile_expr env a)) args in
+          (Builder.call env.b f actuals, Reg.Int_class))
+  | Mini_ast.Bin (op, e1, e2) -> (
+      let v1 = compile_expr env e1 in
+      let v2 = compile_expr env e2 in
+      match
+        match op with
+        | Mini_ast.Add -> `Bin Instr.Add
+        | Mini_ast.Sub -> `Bin Instr.Sub
+        | Mini_ast.Mul -> `Bin Instr.Mul
+        | Mini_ast.Div -> `Bin Instr.Div
+        | Mini_ast.Rem -> `Bin Instr.Rem
+        | Mini_ast.Eq -> `Cmp Instr.Eq
+        | Mini_ast.Ne -> `Cmp Instr.Ne
+        | Mini_ast.Lt -> `Cmp Instr.Lt
+        | Mini_ast.Le -> `Cmp Instr.Le
+        | Mini_ast.Gt -> `Cmp Instr.Gt
+        | Mini_ast.Ge -> `Cmp Instr.Ge
+        | Mini_ast.And -> `Logic Instr.And
+        | Mini_ast.Or -> `Logic Instr.Or
+      with
+      | `Bin op ->
+          let r1, r2, cls = unify env v1 v2 in
+          (Builder.binop env.b op r1 r2, cls)
+      | `Cmp op ->
+          let r1, r2, _ = unify env v1 v2 in
+          (Builder.cmp env.b op r1 r2, Reg.Int_class)
+      | `Logic op ->
+          (* Both operands evaluate; non-zero is true. *)
+          let truthy v =
+            let r = coerce env Reg.Int_class v in
+            let zero = Builder.iconst env.b 0 in
+            Builder.cmp env.b Instr.Ne r zero
+          in
+          let t1 = truthy v1 and t2 = truthy v2 in
+          (Builder.binop env.b op t1 t2, Reg.Int_class))
+
+(* Addressing-mode selection: [mem[e + N]] folds the constant into the
+   load/store offset, which is what lets [mem[a]] / [mem[a + 8]] share a
+   base register and become a paired-load candidate. *)
+and compile_address env (addr : Mini_ast.expr) =
+  match addr with
+  | Mini_ast.Bin (Mini_ast.Add, e, Mini_ast.Int n)
+  | Mini_ast.Bin (Mini_ast.Add, Mini_ast.Int n, e) ->
+      (coerce env Reg.Int_class (compile_expr env e), n)
+  | e -> (coerce env Reg.Int_class (compile_expr env e), 0)
+
+(* Compile a statement list; returns true when the flow terminated (a
+   return was emitted on every path through the list). *)
+let rec compile_block env (stmts : Mini_ast.block) : bool =
+  match stmts with
+  | [] -> false
+  | stmt :: rest -> (
+      match stmt with
+      | Mini_ast.Return e ->
+          (match e with
+          | None -> Builder.ret env.b None
+          | Some e ->
+              let r = coerce env Reg.Int_class (compile_expr env e) in
+              Builder.ret env.b (Some r));
+          (* Anything after a return in the same block is dead. *)
+          true
+      | Mini_ast.Decl (x, e) ->
+          if Hashtbl.mem env.vars x then
+            err "%s: duplicate variable %s" env.fn_name x;
+          let r, cls = compile_expr env e in
+          (* Bind a fresh register rather than aliasing the value: the
+             variable is mutable. *)
+          let cell = Builder.reg env.b cls in
+          Builder.move env.b ~dst:cell ~src:r;
+          Hashtbl.replace env.vars x (cell, cls);
+          compile_block env rest
+      | Mini_ast.Assign (x, e) ->
+          (match Hashtbl.find_opt env.vars x with
+          | None -> err "%s: assignment to unbound variable %s" env.fn_name x
+          | Some (cell, cls) ->
+              let r = coerce env cls (compile_expr env e) in
+              Builder.move env.b ~dst:cell ~src:r);
+          compile_block env rest
+      | Mini_ast.Store (addr, e) ->
+          let base, offset = compile_address env addr in
+          let v = fst (compile_expr env e) in
+          Builder.store env.b ~src:v ~base ~offset;
+          compile_block env rest
+      | Mini_ast.Expr e ->
+          ignore (compile_expr env e);
+          compile_block env rest
+      | Mini_ast.If (c, then_, else_) ->
+          let cond = coerce env Reg.Int_class (compile_expr env c) in
+          let then_l = Builder.new_block env.b in
+          let else_l = Builder.new_block env.b in
+          let join_l = Builder.new_block env.b in
+          Builder.branch env.b cond ~ifso:then_l ~ifnot:else_l;
+          Builder.switch_to env.b then_l;
+          let t_done = compile_block env then_ in
+          if not t_done then Builder.jump env.b join_l;
+          Builder.switch_to env.b else_l;
+          let e_done =
+            match else_ with
+            | Some else_ -> compile_block env else_
+            | None -> false
+          in
+          if not e_done then Builder.jump env.b join_l;
+          if t_done && e_done then
+            (* The join is unreachable; the rest of the statements are
+               dead code.  Report the flow as terminated. *)
+            true
+          else begin
+            Builder.switch_to env.b join_l;
+            compile_block env rest
+          end
+      | Mini_ast.While (c, body) ->
+          let header = Builder.new_block env.b in
+          let body_l = Builder.new_block env.b in
+          let exit_l = Builder.new_block env.b in
+          Builder.jump env.b header;
+          Builder.switch_to env.b header;
+          let cond = coerce env Reg.Int_class (compile_expr env c) in
+          Builder.branch env.b cond ~ifso:body_l ~ifnot:exit_l;
+          Builder.switch_to env.b body_l;
+          let b_done = compile_block env body in
+          if not b_done then Builder.jump env.b header;
+          Builder.switch_to env.b exit_l;
+          compile_block env rest)
+
+let compile_func sigs (f : Mini_ast.func) =
+  let b = Builder.create ~name:f.Mini_ast.name ~n_params:(List.length f.Mini_ast.params) in
+  let env = { b; vars = Hashtbl.create 16; sigs; fn_name = f.Mini_ast.name } in
+  List.iteri
+    (fun i p ->
+      if Hashtbl.mem env.vars p then
+        err "%s: duplicate parameter %s" f.Mini_ast.name p;
+      let r = Builder.reg b Reg.Int_class in
+      Builder.param b r i;
+      (* Parameters are mutable like declared variables. *)
+      let cell = Builder.reg b Reg.Int_class in
+      Builder.move b ~dst:cell ~src:r;
+      Hashtbl.replace env.vars p (cell, Reg.Int_class))
+    f.Mini_ast.params;
+  let terminated = compile_block env f.Mini_ast.body in
+  if not terminated then begin
+    (* Falling off the end returns 0. *)
+    let z = Builder.iconst b 0 in
+    Builder.ret b (Some z)
+  end;
+  Builder.finish b
+
+let compile (p : Mini_ast.program) =
+  let sigs = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Mini_ast.func) ->
+      if Hashtbl.mem sigs f.Mini_ast.name then
+        err "duplicate function %s" f.Mini_ast.name;
+      Hashtbl.replace sigs f.Mini_ast.name (List.length f.Mini_ast.params))
+    p;
+  (match Hashtbl.find_opt sigs "main" with
+  | Some 0 -> ()
+  | Some _ -> err "main must take no parameters"
+  | None -> err "no main function");
+  let funcs = List.map (compile_func sigs) p in
+  { Cfg.funcs; main = "main" }
+
+let compile_source src = compile (Mini_parser.parse src)

@@ -1,0 +1,21 @@
+(** Compilation of mini-language programs to the allocator's IR.
+
+    Variables become virtual registers (reassignment included, so the
+    renumber phase sees real webs); [mem] reads and writes become
+    loads and stores off a zero base; calls and returns stay abstract
+    (the target lowering pass makes the convention explicit later).
+
+    [&&] and [||] evaluate both operands (no short-circuit) and treat
+    any non-zero value as true.  A function that falls off its end
+    returns 0. *)
+
+exception Error of string
+
+val compile : Mini_ast.program -> Cfg.program
+(** @raise Error on unbound variables, unknown callees, arity
+    mismatches or duplicate definitions.  The program must define
+    [main] with no parameters. *)
+
+val compile_source : string -> Cfg.program
+(** Parse and compile. @raise Error (or {!Mini_parser.Error}) on bad
+    input. *)

@@ -1,0 +1,144 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_FN
+  | KW_VAR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_MEM
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Error of string
+
+let token_name = function
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | IDENT s -> s
+  | KW_FN -> "fn"
+  | KW_VAR -> "var"
+  | KW_IF -> "if"
+  | KW_ELSE -> "else"
+  | KW_WHILE -> "while"
+  | KW_RETURN -> "return"
+  | KW_MEM -> "mem"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "=="
+  | NE -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | EOF -> "<eof>"
+
+let keyword = function
+  | "fn" -> Some KW_FN
+  | "var" -> Some KW_VAR
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "return" -> Some KW_RETURN
+  | "mem" -> Some KW_MEM
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let fail msg = raise (Error (Printf.sprintf "line %d: %s" !line msg)) in
+  let rec go i acc =
+    if i >= n then List.rev (EOF :: acc)
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> go (i + 1) acc
+      | '\n' ->
+          incr line;
+          go (i + 1) acc
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+          go (skip i) acc
+      | '(' -> go (i + 1) (LPAREN :: acc)
+      | ')' -> go (i + 1) (RPAREN :: acc)
+      | '{' -> go (i + 1) (LBRACE :: acc)
+      | '}' -> go (i + 1) (RBRACE :: acc)
+      | '[' -> go (i + 1) (LBRACKET :: acc)
+      | ']' -> go (i + 1) (RBRACKET :: acc)
+      | ',' -> go (i + 1) (COMMA :: acc)
+      | ';' -> go (i + 1) (SEMI :: acc)
+      | '+' -> go (i + 1) (PLUS :: acc)
+      | '-' -> go (i + 1) (MINUS :: acc)
+      | '*' -> go (i + 1) (STAR :: acc)
+      | '/' -> go (i + 1) (SLASH :: acc)
+      | '%' -> go (i + 1) (PERCENT :: acc)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (EQ :: acc)
+      | '=' -> go (i + 1) (ASSIGN :: acc)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (NE :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (LE :: acc)
+      | '<' -> go (i + 1) (LT :: acc)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (GE :: acc)
+      | '>' -> go (i + 1) (GT :: acc)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> go (i + 2) (ANDAND :: acc)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> go (i + 2) (OROR :: acc)
+      | c when is_digit c ->
+          let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          if j < n && src.[j] = '.' then begin
+            let k = scan (j + 1) in
+            if k = j + 1 then fail "digits expected after decimal point";
+            go k (FLOAT (float_of_string (String.sub src i (k - i))) :: acc)
+          end
+          else go j (INT (int_of_string (String.sub src i (j - i))) :: acc)
+      | c when is_ident_start c ->
+          let rec scan j = if j < n && is_ident src.[j] then scan (j + 1) else j in
+          let j = scan i in
+          let word = String.sub src i (j - i) in
+          let tok =
+            match keyword word with Some k -> k | None -> IDENT word
+          in
+          go j (tok :: acc)
+      | c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  go 0 []

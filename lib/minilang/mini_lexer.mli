@@ -1,0 +1,45 @@
+(** Hand-written lexer for the mini language. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | KW_FN
+  | KW_VAR
+  | KW_IF
+  | KW_ELSE
+  | KW_WHILE
+  | KW_RETURN
+  | KW_MEM
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | EOF
+
+exception Error of string
+(** Carries a message with the line number of the offending character. *)
+
+val tokenize : string -> token list
+(** The whole input as tokens, ending with [EOF].  Comments run from
+    [//] to end of line. *)
+
+val token_name : token -> string

@@ -1,0 +1,247 @@
+open Mini_lexer
+
+(* Defined after the [open] so that [Error] refers to this parser's
+   exception, not the lexer's. *)
+exception Error of string
+
+type state = { mutable toks : token list }
+
+let fail tok msg =
+  raise (Error (Printf.sprintf "at '%s': %s" (token_name tok) msg))
+
+let peek st = match st.toks with t :: _ -> t | [] -> EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail (peek st) msg
+
+let ident st =
+  match peek st with
+  | IDENT x ->
+      advance st;
+      x
+  | t -> fail t "identifier expected"
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let rec loop lhs =
+    if peek st = OROR then begin
+      advance st;
+      let rhs = parse_and st in
+      loop (Mini_ast.Bin (Mini_ast.Or, lhs, rhs))
+    end
+    else lhs
+  in
+  loop (parse_and st)
+
+and parse_and st =
+  let rec loop lhs =
+    if peek st = ANDAND then begin
+      advance st;
+      let rhs = parse_cmp st in
+      loop (Mini_ast.Bin (Mini_ast.And, lhs, rhs))
+    end
+    else lhs
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let op =
+    match peek st with
+    | EQ -> Some Mini_ast.Eq
+    | NE -> Some Mini_ast.Ne
+    | LT -> Some Mini_ast.Lt
+    | LE -> Some Mini_ast.Le
+    | GT -> Some Mini_ast.Gt
+    | GE -> Some Mini_ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+      advance st;
+      let rhs = parse_add st in
+      Mini_ast.Bin (op, lhs, rhs)
+
+and parse_add st =
+  let rec loop lhs =
+    match peek st with
+    | PLUS ->
+        advance st;
+        loop (Mini_ast.Bin (Mini_ast.Add, lhs, parse_mul st))
+    | MINUS ->
+        advance st;
+        loop (Mini_ast.Bin (Mini_ast.Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop lhs =
+    match peek st with
+    | STAR ->
+        advance st;
+        loop (Mini_ast.Bin (Mini_ast.Mul, lhs, parse_unary st))
+    | SLASH ->
+        advance st;
+        loop (Mini_ast.Bin (Mini_ast.Div, lhs, parse_unary st))
+    | PERCENT ->
+        advance st;
+        loop (Mini_ast.Bin (Mini_ast.Rem, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  loop (parse_unary st)
+
+and parse_unary st =
+  if peek st = MINUS then begin
+    advance st;
+    Mini_ast.Neg (parse_unary st)
+  end
+  else parse_atom st
+
+and parse_atom st =
+  match peek st with
+  | INT n ->
+      advance st;
+      Mini_ast.Int n
+  | FLOAT f ->
+      advance st;
+      Mini_ast.Float f
+  | KW_MEM ->
+      advance st;
+      expect st LBRACKET "'[' expected after mem";
+      let addr = parse_expr st in
+      expect st RBRACKET "']' expected";
+      Mini_ast.Mem addr
+  | LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st RPAREN "')' expected";
+      e
+  | IDENT x ->
+      advance st;
+      if peek st = LPAREN then begin
+        advance st;
+        let rec args acc =
+          if peek st = RPAREN then List.rev acc
+          else
+            let a = parse_expr st in
+            if peek st = COMMA then begin
+              advance st;
+              args (a :: acc)
+            end
+            else List.rev (a :: acc)
+        in
+        let actuals = args [] in
+        expect st RPAREN "')' expected after arguments";
+        Mini_ast.Call (x, actuals)
+      end
+      else Mini_ast.Var x
+  | t -> fail t "expression expected"
+
+let rec parse_block st =
+  expect st LBRACE "'{' expected";
+  let rec stmts acc =
+    if peek st = RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else stmts (parse_stmt st :: acc)
+  in
+  stmts []
+
+and parse_stmt st =
+  match peek st with
+  | KW_VAR ->
+      advance st;
+      let x = ident st in
+      expect st ASSIGN "'=' expected in declaration";
+      let e = parse_expr st in
+      expect st SEMI "';' expected";
+      Mini_ast.Decl (x, e)
+  | KW_MEM ->
+      advance st;
+      expect st LBRACKET "'[' expected after mem";
+      let addr = parse_expr st in
+      expect st RBRACKET "']' expected";
+      expect st ASSIGN "'=' expected in store";
+      let e = parse_expr st in
+      expect st SEMI "';' expected";
+      Mini_ast.Store (addr, e)
+  | KW_IF ->
+      advance st;
+      expect st LPAREN "'(' expected after if";
+      let c = parse_expr st in
+      expect st RPAREN "')' expected";
+      let then_ = parse_block st in
+      if peek st = KW_ELSE then begin
+        advance st;
+        let else_ = parse_block st in
+        Mini_ast.If (c, then_, Some else_)
+      end
+      else Mini_ast.If (c, then_, None)
+  | KW_WHILE ->
+      advance st;
+      expect st LPAREN "'(' expected after while";
+      let c = parse_expr st in
+      expect st RPAREN "')' expected";
+      let body = parse_block st in
+      Mini_ast.While (c, body)
+  | KW_RETURN ->
+      advance st;
+      if peek st = SEMI then begin
+        advance st;
+        Mini_ast.Return None
+      end
+      else begin
+        let e = parse_expr st in
+        expect st SEMI "';' expected";
+        Mini_ast.Return (Some e)
+      end
+  | IDENT x when (match st.toks with _ :: ASSIGN :: _ -> true | _ -> false) ->
+      advance st;
+      advance st;
+      let e = parse_expr st in
+      expect st SEMI "';' expected";
+      Mini_ast.Assign (x, e)
+  | _ ->
+      let e = parse_expr st in
+      expect st SEMI "';' expected";
+      Mini_ast.Expr e
+
+let parse_fn st =
+  expect st KW_FN "'fn' expected";
+  let name = ident st in
+  expect st LPAREN "'(' expected";
+  let rec params acc =
+    match peek st with
+    | RPAREN ->
+        advance st;
+        List.rev acc
+    | IDENT x ->
+        advance st;
+        if peek st = COMMA then begin
+          advance st;
+          params (x :: acc)
+        end
+        else begin
+          expect st RPAREN "')' expected after parameters";
+          List.rev (x :: acc)
+        end
+    | t -> fail t "parameter name expected"
+  in
+  let ps = params [] in
+  let body = parse_block st in
+  { Mini_ast.name; params = ps; body }
+
+let parse src =
+  let toks = try tokenize src with Mini_lexer.Error m -> raise (Error m) in
+  let st = { toks } in
+  let rec fns acc =
+    if peek st = EOF then List.rev acc else fns (parse_fn st :: acc)
+  in
+  fns []

@@ -1,0 +1,29 @@
+(** Recursive-descent parser for the mini language.
+
+    Grammar (precedence climbing, lowest first):
+    {v
+    program  := fn*
+    fn       := "fn" IDENT "(" params ")" block
+    block    := "{" stmt* "}"
+    stmt     := "var" IDENT "=" expr ";"
+              | IDENT "=" expr ";"
+              | "mem" "[" expr "]" "=" expr ";"
+              | "if" "(" expr ")" block ("else" block)?
+              | "while" "(" expr ")" block
+              | "return" expr? ";"
+              | expr ";"
+    expr     := or
+    or       := and ("||" and)*
+    and      := cmp ("&&" cmp)*
+    cmp      := add (("=="|"!="|"<"|"<="|">"|">=") add)?
+    add      := mul (("+"|"-") mul)*
+    mul      := unary (("*"|"/"|"%") unary)*
+    unary    := "-" unary | atom
+    atom     := INT | FLOAT | IDENT | IDENT "(" args ")"
+              | "mem" "[" expr "]" | "(" expr ")"
+    v} *)
+
+exception Error of string
+
+val parse : string -> Mini_ast.program
+(** @raise Error on lexical or syntax errors. *)

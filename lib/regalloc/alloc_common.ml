@@ -1,0 +1,148 @@
+type coalesce_kind = No_coalesce | Aggressive | Conservative
+
+type config = {
+  name : string;
+  coalesce : coalesce_kind;
+  mode : Simplify.mode;
+  biased : bool;
+  order : Color_select.order;
+}
+
+type result = {
+  func : Cfg.func;
+  alloc : Reg.t Reg.Tbl.t;
+  rounds : int;
+  spill_instrs : int;
+}
+
+exception Failed of string
+
+let max_rounds = 64
+
+(* Pick the blocked node minimizing Chaitin's cost/degree metric. *)
+let choose_victim costs g ~no_spill blocked =
+  let metric = Spill_cost.chaitin_metric costs g ~no_spill in
+  match blocked with
+  | [] -> invalid_arg "choose_victim: no candidates"
+  | first :: rest ->
+      let best, best_m =
+        List.fold_left
+          (fun (b, bm) r ->
+            let m = metric r in
+            if m < bm then (r, m) else (b, bm))
+          (first, metric first) rest
+      in
+      if best_m = infinity then
+        (* Only spill temporaries are blocked; take the max-degree one
+           as a last resort. *)
+        List.fold_left
+          (fun acc r ->
+            if Igraph.degree g r > Igraph.degree g acc then r else acc)
+          best blocked
+      else best
+
+let allocate config (m : Machine.t) (f0 : Cfg.func) =
+  let f0 = Cfg.clone f0 in
+  let rec round fn ~temps ~n ~spill_instrs =
+    if n > max_rounds then
+      raise (Failed (Printf.sprintf "%s: too many rounds" config.name));
+    let webs = Webs.run fn in
+    let fn = webs.Webs.func in
+    (* Registers renaming spill temporaries are themselves spill
+       temporaries. *)
+    let temps =
+      Reg.Tbl.fold
+        (fun w orig acc ->
+          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
+        webs.Webs.origin Reg.Set.empty
+    in
+    let live = Liveness.compute fn in
+    let g = Igraph.build fn live in
+    (match config.coalesce with
+    | No_coalesce -> ()
+    | Aggressive -> ignore (Coalesce.aggressive g)
+    | Conservative -> ignore (Coalesce.conservative ~k:m.Machine.k g));
+    let costs = Spill_cost.compute fn in
+    let no_spill r = Reg.Set.mem r temps in
+    let simp =
+      Simplify.run config.mode ~k:m.Machine.k g
+        ~spill_choice:(choose_victim costs g ~no_spill)
+        ~never_spill:no_spill ()
+    in
+    let respill spilled =
+      (* Spilling a coalesced node means spilling every member of the
+         merged cluster, not just the representative's register. *)
+      let spilled =
+        Reg.Set.filter
+          (fun r -> Reg.Set.mem (Igraph.alias g r) spilled)
+          (Cfg.all_vregs fn)
+        |> Reg.Set.union spilled
+      in
+      let ins = Spill_insert.insert fn spilled in
+      let temps =
+        Reg.Set.union temps
+          (Reg.Set.filter
+             (fun r -> r >= ins.Spill_insert.temp_watermark)
+             (Cfg.all_vregs ins.Spill_insert.func))
+      in
+      round ins.Spill_insert.func ~temps ~n:(n + 1)
+        ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+    in
+    if not (Reg.Set.is_empty simp.Simplify.forced_spills) then
+      respill simp.Simplify.forced_spills
+    else
+      let sel =
+        Color_select.run m g ~stack:simp.Simplify.stack ~order:config.order
+          ~biased:config.biased
+      in
+      if not (Reg.Set.is_empty sel.Color_select.failed) then
+        respill sel.Color_select.failed
+      else begin
+        let alloc = Reg.Tbl.create 64 in
+        Reg.Set.iter
+          (fun r ->
+            match Color_select.color_of sel g r with
+            | Some c -> Reg.Tbl.replace alloc r c
+            | None ->
+                raise
+                  (Failed
+                     (Printf.sprintf "%s: %s left uncolored" config.name
+                        (Reg.to_string r))))
+          (Cfg.all_vregs fn);
+        { func = fn; alloc; rounds = n; spill_instrs }
+      end
+  in
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+
+let check_complete (m : Machine.t) (res : result) =
+  let fn = res.func in
+  let lookup r =
+    if Reg.is_phys r then r
+    else
+      match Reg.Tbl.find_opt res.alloc r with
+      | Some c -> c
+      | None -> raise (Failed (Reg.to_string r ^ " unallocated"))
+  in
+  Reg.Set.iter
+    (fun r ->
+      let c = lookup r in
+      if not (Reg.is_phys c) then raise (Failed "allocated to virtual");
+      if not (Machine.is_allocatable m c) then
+        raise (Failed "allocated outside the machine's file");
+      if Cfg.cls_of fn r <> Reg.phys_cls c then
+        raise (Failed "allocated outside its class"))
+    (Cfg.all_vregs fn);
+  let live = Liveness.compute fn in
+  let g = Igraph.build fn live in
+  List.iter
+    (fun r ->
+      let c = lookup r in
+      Reg.Set.iter
+        (fun n ->
+          if Reg.equal (lookup n) c then
+            raise
+              (Failed
+                 (Printf.sprintf "%s and %s interfere but share %s"
+                    (Reg.to_string r) (Reg.to_string n) (Reg.to_string c))))
+        (Igraph.adj g r))
+    (Igraph.vnodes g)

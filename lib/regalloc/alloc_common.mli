@@ -1,0 +1,43 @@
+(** The shared Chaitin-style allocation driver.
+
+    Rounds of: renumber (webs) -> liveness -> interference graph ->
+    coalesce -> simplify -> select; registers that fail get spill code
+    and the round restarts, until every node receives a register.
+
+    Spill-code temporaries are tracked across rounds and protected from
+    being spilled again. *)
+
+type coalesce_kind = No_coalesce | Aggressive | Conservative
+
+type config = {
+  name : string;
+  coalesce : coalesce_kind;
+  mode : Simplify.mode;
+  biased : bool;
+  order : Color_select.order;
+}
+
+type result = {
+  func : Cfg.func;
+      (** final body: web-renamed, spill code inserted, still virtual *)
+  alloc : Reg.t Reg.Tbl.t;  (** every virtual register -> its register *)
+  rounds : int;
+  spill_instrs : int;  (** spill stores + reloads inserted, static count *)
+}
+
+exception Failed of string
+(** Raised when allocation cannot make progress (eg. a spill temporary
+    itself fails to color), or the round budget is exhausted. *)
+
+val allocate : config -> Machine.t -> Cfg.func -> result
+
+val check_complete : Machine.t -> result -> unit
+(** Assert every virtual register of the body got a register of its
+    class, distinct from its interfering neighbors.
+    @raise Failed otherwise. *)
+
+val choose_victim :
+  Spill_cost.t -> Igraph.t -> no_spill:(Reg.t -> bool) -> Reg.t list -> Reg.t
+(** The shared spill-victim heuristic: minimize Chaitin's cost/degree
+    metric, never choosing a spill temporary while a real candidate
+    remains. *)

@@ -1,0 +1,20 @@
+let aggressive =
+  {
+    Alloc_common.name = "briggs+aggressive";
+    coalesce = Alloc_common.Aggressive;
+    mode = Simplify.Optimistic;
+    biased = false;
+    order = Color_select.Nonvolatile_first;
+  }
+
+let conservative =
+  {
+    Alloc_common.name = "briggs+conservative";
+    coalesce = Alloc_common.Conservative;
+    mode = Simplify.Optimistic;
+    biased = true;
+    order = Color_select.Nonvolatile_first;
+  }
+
+let allocate_aggressive m f = Alloc_common.allocate aggressive m f
+let allocate_conservative m f = Alloc_common.allocate conservative m f

@@ -1,0 +1,10 @@
+let config =
+  {
+    Alloc_common.name = "chaitin+aggressive";
+    coalesce = Alloc_common.Aggressive;
+    mode = Simplify.Chaitin;
+    biased = false;
+    order = Color_select.Nonvolatile_first;
+  }
+
+let allocate m f = Alloc_common.allocate config m f

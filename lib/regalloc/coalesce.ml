@@ -1,0 +1,60 @@
+let candidate g mv =
+  let a = Igraph.alias g mv.Igraph.dst and b = Igraph.alias g mv.Igraph.src in
+  if Reg.equal a b then None
+  else if Reg.is_phys a && Reg.is_phys b then None
+  else if Igraph.interferes g a b then None
+  else
+    (* Keep the physical register when one side is precolored. *)
+    let keep, drop = if Reg.is_phys b then (b, a) else (a, b) in
+    Some (keep, drop)
+
+let aggressive g =
+  let merges = ref 0 in
+  List.iter
+    (fun mv ->
+      match candidate g mv with
+      | Some (keep, drop) ->
+          Igraph.merge g ~keep ~drop;
+          incr merges
+      | None -> ())
+    (Igraph.moves g);
+  !merges
+
+let briggs_ok ~k g a b =
+  let a = Igraph.alias g a and b = Igraph.alias g b in
+  let combined = Reg.Set.union (Igraph.adj g a) (Igraph.adj g b) in
+  let significant =
+    Reg.Set.filter (fun n -> Igraph.degree g n >= k) combined
+  in
+  Reg.Set.cardinal significant < k
+
+let george_ok ~k g a b =
+  let a = Igraph.alias g a and b = Igraph.alias g b in
+  Reg.Set.for_all
+    (fun n ->
+      Igraph.degree g n < k || Reg.is_phys n || Igraph.interferes g n b)
+    (Igraph.adj g a)
+
+let conservative ~k g =
+  let merges = ref 0 in
+  let rec pass budget =
+    if budget = 0 then ()
+    else begin
+      let changed = ref false in
+      List.iter
+        (fun mv ->
+          match candidate g mv with
+          | Some (keep, drop)
+            when
+              (if Reg.is_phys keep then george_ok ~k g drop keep
+               else briggs_ok ~k g keep drop) ->
+              Igraph.merge g ~keep ~drop;
+              incr merges;
+              changed := true
+          | Some _ | None -> ())
+        (Igraph.moves g);
+      if !changed then pass (budget - 1)
+    end
+  in
+  pass 10;
+  !merges

@@ -1,0 +1,26 @@
+(** Merge-based coalescing phases.
+
+    Both phases destructively merge move-related, non-interfering nodes
+    in the interference graph (the code itself is not rewritten; the
+    alias map makes the coalesced copies color-identical, and the
+    finalizer deletes same-color copies).
+
+    - [aggressive] (Chaitin): merge every coalescable pair.  Interference
+      only grows under merging, so one pass reaches the fixpoint.
+    - [conservative] (Briggs): merge only when the combined node has
+      fewer than [k] significant-degree neighbors, so coalescing can
+      never turn a colorable graph uncolorable.  Successful merges can
+      unblock others; passes repeat until a fixpoint. *)
+
+val aggressive : Igraph.t -> int
+(** Returns the number of merges performed. *)
+
+val conservative : k:int -> Igraph.t -> int
+
+val briggs_ok : k:int -> Igraph.t -> Reg.t -> Reg.t -> bool
+(** The Briggs conservatism test for a candidate pair. *)
+
+val george_ok : k:int -> Igraph.t -> Reg.t -> Reg.t -> bool
+(** The George test: every neighbor of [a] is of insignificant degree,
+    precolored, or already a neighbor of [b].  Used with a precolored
+    [b]. *)

@@ -1,0 +1,71 @@
+type order = Index_order | Nonvolatile_first | Volatile_first
+
+type t = { colors : Reg.t Reg.Tbl.t; failed : Reg.Set.t }
+
+let color_of t g r =
+  let rep = Igraph.alias g r in
+  if Reg.is_phys rep then Some rep else Reg.Tbl.find_opt t.colors rep
+
+let available m g t r =
+  let rep = Igraph.alias g r in
+  let cls = Igraph.cls g rep in
+  let forbidden =
+    Reg.Set.fold
+      (fun n acc ->
+        match color_of t g n with
+        | Some c -> Reg.Set.add c acc
+        | None -> acc)
+      (Igraph.adj g rep) Reg.Set.empty
+  in
+  List.filter (fun c -> not (Reg.Set.mem c forbidden)) (Machine.all m cls)
+
+let reorder m order regs =
+  let vol, nonvol = List.partition (Machine.is_volatile m) regs in
+  match order with
+  | Index_order -> regs
+  | Nonvolatile_first -> nonvol @ vol
+  | Volatile_first -> vol @ nonvol
+
+let run m g ~stack ~order ~biased =
+  let t = { colors = Reg.Tbl.create 64; failed = Reg.Set.empty } in
+  let failed = ref Reg.Set.empty in
+  let moves = Igraph.moves g in
+  let partners r =
+    let rep = Igraph.alias g r in
+    List.filter_map
+      (fun mv ->
+        let a = Igraph.alias g mv.Igraph.dst
+        and b = Igraph.alias g mv.Igraph.src in
+        if Reg.equal a rep && not (Reg.equal b rep) then Some b
+        else if Reg.equal b rep && not (Reg.equal a rep) then Some a
+        else None)
+      moves
+  in
+  List.iter
+    (fun r ->
+      let rep = Igraph.alias g r in
+      if (not (Reg.is_phys rep)) && not (Reg.Tbl.mem t.colors rep) then begin
+        match available m g t rep with
+        | [] -> failed := Reg.Set.add rep !failed
+        | free ->
+            let free = reorder m order free in
+            let choice =
+              if not biased then None
+              else
+                (* Take a partner's color if it is free. *)
+                List.find_map
+                  (fun p ->
+                    match color_of t g p with
+                    | Some c when List.exists (Reg.equal c) free -> Some c
+                    | _ -> None)
+                  (partners rep)
+            in
+            let c =
+              match choice with
+              | Some c -> c
+              | None -> ( match free with c :: _ -> c | [] -> assert false)
+            in
+            Reg.Tbl.replace t.colors rep c
+      end)
+    stack;
+  { t with failed = !failed }

@@ -1,0 +1,140 @@
+type move = { instr_id : int; dst : Reg.t; src : Reg.t }
+
+type t = {
+  fn : Cfg.func;
+  adj_tbl : Reg.Set.t ref Reg.Tbl.t;
+  aliases : Reg.t Reg.Tbl.t;
+  mutable move_list : move list;
+}
+
+let infinite_degree = max_int / 2
+
+let rec alias t r =
+  match Reg.Tbl.find_opt t.aliases r with
+  | None -> r
+  | Some p ->
+      let root = alias t p in
+      if not (Reg.equal root p) then Reg.Tbl.replace t.aliases r root;
+      root
+
+let func t = t.fn
+let cls t r = Cfg.cls_of t.fn r
+let is_node t r = Reg.Tbl.mem t.adj_tbl (alias t r)
+
+let adj_cell t r =
+  match Reg.Tbl.find_opt t.adj_tbl r with
+  | Some c -> c
+  | None ->
+      let c = ref Reg.Set.empty in
+      Reg.Tbl.replace t.adj_tbl r c;
+      c
+
+let adj t r =
+  match Reg.Tbl.find_opt t.adj_tbl (alias t r) with
+  | Some c -> !c
+  | None -> Reg.Set.empty
+
+let interferes t a b =
+  let a = alias t a and b = alias t b in
+  Reg.Set.mem b (adj t a)
+
+let degree t r =
+  let r = alias t r in
+  if Reg.is_phys r then infinite_degree else Reg.Set.cardinal (adj t r)
+
+let vnodes t =
+  Reg.Tbl.fold
+    (fun r _ acc ->
+      if Reg.is_virtual r && Reg.equal (alias t r) r then r :: acc else acc)
+    t.adj_tbl []
+
+let moves t = t.move_list
+
+let add_edge t a b =
+  let a = alias t a and b = alias t b in
+  if (not (Reg.equal a b)) && cls t a = cls t b then begin
+    (* Physical-physical edges carry no information. *)
+    if not (Reg.is_phys a && Reg.is_phys b) then begin
+      let ca = adj_cell t a and cb = adj_cell t b in
+      ca := Reg.Set.add b !ca;
+      cb := Reg.Set.add a !cb
+    end
+  end
+
+let ensure_node t r = ignore (adj_cell t r)
+
+let build (fn : Cfg.func) (live : Liveness.t) =
+  let t =
+    {
+      fn;
+      adj_tbl = Reg.Tbl.create 256;
+      aliases = Reg.Tbl.create 16;
+      move_list = [];
+    }
+  in
+  List.iter
+    (fun b ->
+      ignore
+        (Liveness.fold_block_backward live b ~init:()
+           ~f:(fun () ~live_out i ->
+             let kind = i.Instr.kind in
+             List.iter (ensure_node t) (Instr.defs kind);
+             List.iter (ensure_node t) (Instr.uses kind);
+             (match kind with
+             | Instr.Move { dst; src }
+               when (not (Reg.equal dst src))
+                    && Cfg.cls_of fn dst = Cfg.cls_of fn src ->
+                 t.move_list <-
+                   { instr_id = i.Instr.id; dst; src } :: t.move_list
+             | _ -> ());
+             let exempt =
+               match kind with
+               | Instr.Move { src; _ } -> Some src
+               | _ -> None
+             in
+             List.iter
+               (fun d ->
+                 Reg.Set.iter
+                   (fun l ->
+                     if exempt <> Some l then add_edge t d l)
+                   live_out)
+               (Instr.defs kind))))
+    fn.Cfg.blocks;
+  t
+
+let merge t ~keep ~drop =
+  let keep = alias t keep and drop = alias t drop in
+  if Reg.equal keep drop then ()
+  else begin
+    if not (Reg.is_virtual drop) then
+      invalid_arg "Igraph.merge: cannot merge away a physical register";
+    if interferes t keep drop then
+      invalid_arg "Igraph.merge: nodes interfere";
+    let drop_adj = adj t drop in
+    Reg.Tbl.remove t.adj_tbl drop;
+    Reg.Tbl.replace t.aliases drop keep;
+    Reg.Set.iter
+      (fun n ->
+        (match Reg.Tbl.find_opt t.adj_tbl n with
+        | Some c -> c := Reg.Set.remove drop !c
+        | None -> ());
+        add_edge t keep n)
+      drop_adj
+  end
+
+let copy t =
+  let adj_tbl = Reg.Tbl.create (Reg.Tbl.length t.adj_tbl) in
+  Reg.Tbl.iter (fun r c -> Reg.Tbl.replace adj_tbl r (ref !c)) t.adj_tbl;
+  let aliases = Reg.Tbl.copy t.aliases in
+  { fn = t.fn; adj_tbl; aliases; move_list = t.move_list }
+
+let pp ppf t =
+  let nodes = vnodes t |> List.sort Reg.compare in
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%a: {%a}@ " Reg.pp r
+        (Format.pp_print_list ~pp_sep:Fmt.comma Reg.pp)
+        (Reg.Set.elements (adj t r)))
+    nodes;
+  Format.fprintf ppf "@]"

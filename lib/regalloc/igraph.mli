@@ -1,0 +1,57 @@
+(** Interference graph.
+
+    Nodes are web registers plus the physical registers occurring in
+    the lowered code.  Edges follow Chaitin's rule: at every
+    instruction, the defined register interferes with everything live
+    out of it — except, for a copy, the copy source.  Edges connect
+    registers of the same class only (the two register files are
+    disjoint).
+
+    The graph supports destructive node merging with an internal alias
+    (union-find) map, which is how the merge-based coalescing phases of
+    the baseline allocators are expressed.  All queries resolve aliases
+    first. *)
+
+type t
+
+type move = { instr_id : int; dst : Reg.t; src : Reg.t }
+
+val build : Cfg.func -> Liveness.t -> t
+
+val func : t -> Cfg.func
+val cls : t -> Reg.t -> Reg.cls
+
+val vnodes : t -> Reg.t list
+(** Virtual (non-precolored) nodes that are current merge
+    representatives, ie. excluding merged-away nodes. *)
+
+val is_node : t -> Reg.t -> bool
+val interferes : t -> Reg.t -> Reg.t -> bool
+
+val adj : t -> Reg.t -> Reg.Set.t
+(** Current neighbors of the node's representative (aliases resolved,
+    merged-away nodes absent). *)
+
+val degree : t -> Reg.t -> int
+(** [infinite_degree] for physical registers. *)
+
+val infinite_degree : int
+
+val moves : t -> move list
+(** Every copy instruction between same-class registers, including
+    copies to and from physical registers. *)
+
+val alias : t -> Reg.t -> Reg.t
+(** Merge representative of a register (itself if never merged). *)
+
+val add_edge : t -> Reg.t -> Reg.t -> unit
+
+val merge : t -> keep:Reg.t -> drop:Reg.t -> unit
+(** Coalesce [drop] into [keep]: union the adjacency, redirect the
+    alias.  [drop] must be virtual and must not interfere with [keep].
+    @raise Invalid_argument otherwise. *)
+
+val copy : t -> t
+(** Independent snapshot (shares the underlying function). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,285 @@
+let name = "aggressive+volatility"
+
+type benefits = { volatile_benefit : int; nonvolatile_benefit : int }
+
+(* Frequency-weighted number of calls each register is live across. *)
+let weighted_crossings (fn : Cfg.func) live =
+  let loops = Loops.compute fn in
+  let crossings = Reg.Tbl.create 64 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      let freq = Loops.frequency loops b.Cfg.label in
+      ignore
+        (Liveness.fold_block_backward live b ~init:()
+           ~f:(fun () ~live_out i ->
+             match i.Instr.kind with
+             | Instr.Call { dst; _ } ->
+                 let across =
+                   match dst with
+                   | Some d -> Reg.Set.remove d live_out
+                   | None -> live_out
+                 in
+                 Reg.Set.iter
+                   (fun r ->
+                     if Reg.is_virtual r then begin
+                       let cur =
+                         try Reg.Tbl.find crossings r with Not_found -> 0
+                       in
+                       Reg.Tbl.replace crossings r (cur + freq)
+                     end)
+                   across
+             | _ -> ())))
+    fn.Cfg.blocks;
+  crossings
+
+let benefits_of fn live =
+  let costs = Spill_cost.compute fn in
+  let crossings = weighted_crossings fn live in
+  let tbl = Reg.Tbl.create 64 in
+  Reg.Set.iter
+    (fun r ->
+      let spill = Spill_cost.spill_cost costs r in
+      let crossed = try Reg.Tbl.find crossings r with Not_found -> 0 in
+      Reg.Tbl.replace tbl r
+        {
+          volatile_benefit = spill - (Costs.save_restore * crossed);
+          nonvolatile_benefit = spill - Costs.callee_save;
+        })
+    (Cfg.all_vregs fn);
+  tbl
+
+let compute_benefits (_m : Machine.t) (fn : Cfg.func) =
+  benefits_of fn (Liveness.compute fn)
+
+let allocate (m : Machine.t) (f0 : Cfg.func) =
+  let f0 = Cfg.clone f0 in
+  let rec round fn ~temps ~n ~spill_instrs =
+    if n > 64 then
+      raise (Alloc_common.Failed "aggressive+volatility: too many rounds");
+    let webs = Webs.run fn in
+    let fn = webs.Webs.func in
+    let temps =
+      Reg.Tbl.fold
+        (fun w orig acc ->
+          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
+        webs.Webs.origin Reg.Set.empty
+    in
+    let live = Liveness.compute fn in
+    let g = Igraph.build fn live in
+    ignore (Coalesce.aggressive g);
+    let costs = Spill_cost.compute fn in
+    let benefits = benefits_of fn live in
+    (* Benefits of a merge representative: sum over its members. *)
+    let group_benefit =
+      let cache = Reg.Tbl.create 64 in
+      fun rep ->
+        match Reg.Tbl.find_opt cache rep with
+        | Some b -> b
+        | None ->
+            let b =
+              Reg.Tbl.fold
+                (fun r br acc ->
+                  if Reg.equal (Igraph.alias g r) rep then
+                    {
+                      volatile_benefit = acc.volatile_benefit + br.volatile_benefit;
+                      nonvolatile_benefit =
+                        acc.nonvolatile_benefit + br.nonvolatile_benefit;
+                    }
+                  else acc)
+                benefits
+                { volatile_benefit = 0; nonvolatile_benefit = 0 }
+            in
+            Reg.Tbl.replace cache rep b;
+            b
+    in
+    let priority rep =
+      let b = group_benefit rep in
+      max b.volatile_benefit b.nonvolatile_benefit
+    in
+    (* Preference decision: per call site and class, only the R most
+       beneficial crossing ranges keep the non-volatile preference. *)
+    let forced_volatile = Reg.Tbl.create 16 in
+    let n_nonvol = m.Machine.k - m.Machine.n_volatile in
+    List.iter
+      (fun (b : Cfg.block) ->
+        ignore
+          (Liveness.fold_block_backward live b ~init:()
+             ~f:(fun () ~live_out i ->
+               match i.Instr.kind with
+               | Instr.Call { dst; _ } ->
+                   let across =
+                     (match dst with
+                     | Some d -> Reg.Set.remove d live_out
+                     | None -> live_out)
+                     |> Reg.Set.filter Reg.is_virtual
+                     |> Reg.Set.elements
+                     |> List.map (Igraph.alias g)
+                     |> List.sort_uniq Reg.compare
+                   in
+                   List.iter
+                     (fun cls ->
+                       let ranked =
+                         List.filter (fun r -> Igraph.cls g r = cls) across
+                         |> List.sort (fun a b ->
+                                compare
+                                  (group_benefit b).nonvolatile_benefit
+                                  (group_benefit a).nonvolatile_benefit)
+                       in
+                       List.iteri
+                         (fun idx r ->
+                           if idx >= n_nonvol then
+                             Reg.Tbl.replace forced_volatile r ())
+                         ranked)
+                     [ Reg.Int_class; Reg.Float_class ]
+               | _ -> ())))
+      fn.Cfg.blocks;
+    (* Benefit-driven Chaitin simplification: among removable nodes,
+       push the lowest-priority one first. *)
+    let no_spill rep =
+      Reg.Set.exists (fun w -> Reg.equal (Igraph.alias g w) rep) temps
+    in
+    let nodes = Igraph.vnodes g in
+    let degree = Reg.Tbl.create 64 in
+    let present = Reg.Tbl.create 64 in
+    List.iter
+      (fun r ->
+        Reg.Tbl.replace degree r (Igraph.degree g r);
+        Reg.Tbl.replace present r ())
+      nodes;
+    let deg r = try Reg.Tbl.find degree r with Not_found -> 0 in
+    let remaining = ref (List.length nodes) in
+    let stack = ref [] in
+    let forced_spills = ref Reg.Set.empty in
+    let remove r =
+      Reg.Tbl.remove present r;
+      decr remaining;
+      Reg.Set.iter
+        (fun nb ->
+          if Reg.Tbl.mem present nb then
+            Reg.Tbl.replace degree nb (deg nb - 1))
+        (Igraph.adj g r)
+    in
+    while !remaining > 0 do
+      let removable, blocked =
+        Reg.Tbl.fold (fun r () acc -> r :: acc) present []
+        |> List.partition (fun r -> deg r < m.Machine.k)
+      in
+      match removable with
+      | _ :: _ ->
+          let victim =
+            List.fold_left
+              (fun acc r -> if priority r < priority acc then r else acc)
+              (List.hd removable) (List.tl removable)
+          in
+          stack := victim :: !stack;
+          remove victim
+      | [] ->
+          let metric r =
+            if no_spill r then infinity
+            else
+              float_of_int (Spill_cost.merged_spill_cost costs g r)
+              /. float_of_int (max 1 (deg r))
+          in
+          let victim =
+            List.fold_left
+              (fun acc r -> if metric r < metric acc then r else acc)
+              (List.hd blocked) (List.tl blocked)
+          in
+          (* A spill temporary's range is already minimal; spilling it
+             would reproduce the same code forever.  Remove it
+             optimistically instead — select will find it a register. *)
+          if no_spill victim then stack := victim :: !stack
+          else forced_spills := Reg.Set.add victim !forced_spills;
+          remove victim
+    done;
+    let respill spilled =
+      let spilled =
+        Reg.Set.filter
+          (fun r -> Reg.Set.mem (Igraph.alias g r) spilled)
+          (Cfg.all_vregs fn)
+        |> Reg.Set.union spilled
+      in
+      let ins = Spill_insert.insert fn spilled in
+      let temps =
+        Reg.Set.union temps
+          (Reg.Set.filter
+             (fun r -> r >= ins.Spill_insert.temp_watermark)
+             (Cfg.all_vregs ins.Spill_insert.func))
+      in
+      round ins.Spill_insert.func ~temps ~n:(n + 1)
+        ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+    in
+    if not (Reg.Set.is_empty !forced_spills) then respill !forced_spills
+    else begin
+      (* Select: choose volatile / non-volatile / memory by benefit. *)
+      let color = Reg.Tbl.create 64 in
+      let color_of r =
+        let rep = Igraph.alias g r in
+        if Reg.is_phys rep then Some rep else Reg.Tbl.find_opt color rep
+      in
+      let active_spills = ref Reg.Set.empty in
+      List.iter
+        (fun rep ->
+          let forbidden =
+            Reg.Set.fold
+              (fun nb acc ->
+                match color_of nb with
+                | Some c -> Reg.Set.add c acc
+                | None -> acc)
+              (Igraph.adj g rep) Reg.Set.empty
+          in
+          let cls = Igraph.cls g rep in
+          let free =
+            List.filter
+              (fun c -> not (Reg.Set.mem c forbidden))
+              (Machine.all m cls)
+          in
+          let free_vol, free_nonvol =
+            List.partition (Machine.is_volatile m) free
+          in
+          let b = group_benefit rep in
+          let wants_nonvol =
+            b.nonvolatile_benefit > b.volatile_benefit
+            && not (Reg.Tbl.mem forced_volatile rep)
+          in
+          let ordered =
+            if wants_nonvol then free_nonvol @ free_vol
+            else free_vol @ free_nonvol
+          in
+          let prefers_memory =
+            b.volatile_benefit <= 0 && b.nonvolatile_benefit <= 0
+            && not (no_spill rep)
+          in
+          if prefers_memory then
+            Reg.Set.iter
+              (fun w ->
+                if Reg.equal (Igraph.alias g w) rep then
+                  active_spills := Reg.Set.add w !active_spills)
+              (Cfg.all_vregs fn)
+          else
+            match ordered with
+            | c :: _ -> Reg.Tbl.replace color rep c
+            | [] ->
+                (* Chaitin simplification guarantees a free register. *)
+                raise
+                  (Alloc_common.Failed
+                     ("aggressive+volatility: no color for "
+                    ^ Reg.to_string rep)))
+        !stack;
+      if not (Reg.Set.is_empty !active_spills) then respill !active_spills
+      else begin
+        let alloc = Reg.Tbl.create 64 in
+        Reg.Set.iter
+          (fun r ->
+            match color_of r with
+            | Some c -> Reg.Tbl.replace alloc r c
+            | None ->
+                raise
+                  (Alloc_common.Failed
+                     ("aggressive+volatility: uncolored " ^ Reg.to_string r)))
+          (Cfg.all_vregs fn);
+        { Alloc_common.func = fn; alloc; rounds = n; spill_instrs }
+      end
+    end
+  in
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0

@@ -1,0 +1,26 @@
+(** Call-cost directed register allocation (Lueh & Gross, PLDI 1997;
+    paper Fig. 3) — the "aggressive+volatility" comparison of Fig. 11.
+
+    Chaitin-style coloring with aggressive coalescing, plus:
+    - two benefit functions per live range, for residing in a volatile
+      register (pays caller save/restore per crossed call) and in a
+      non-volatile register (pays an amortized callee save);
+    - benefit-driven simplification: lowest-priority nodes are pushed
+      first so that important nodes are colored early;
+    - the preference decision: per call site, only the [R] most
+      beneficial live ranges keep their non-volatile preference, the
+      rest are steered to volatile registers;
+    - a select phase that chooses volatile / non-volatile / memory by
+      benefit, actively spilling ranges that prefer memory. *)
+
+val name : string
+val allocate : Machine.t -> Cfg.func -> Alloc_common.result
+
+type benefits = {
+  volatile_benefit : int;
+      (** Spill_Cost - caller save/restore over crossed calls *)
+  nonvolatile_benefit : int;  (** Spill_Cost - callee save *)
+}
+
+val compute_benefits : Machine.t -> Cfg.func -> benefits Reg.Tbl.t
+(** Exposed for tests and for the harness's diagnostics. *)

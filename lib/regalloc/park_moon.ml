@@ -1,0 +1,170 @@
+let name = "optimistic"
+
+(* One select work item: a set of webs that would like to share one
+   register.  [forced] is the color imposed when the group was
+   coalesced into a precolored node. *)
+type group = { members : Reg.t list; forced : Reg.t option }
+
+let allocate (m : Machine.t) (f0 : Cfg.func) =
+  let f0 = Cfg.clone f0 in
+  let k_regs cls = Machine.all m cls in
+  let rec round fn ~temps ~n ~spill_instrs =
+    if n > 64 then raise (Alloc_common.Failed "optimistic: too many rounds");
+    let webs = Webs.run fn in
+    let fn = webs.Webs.func in
+    let temps =
+      Reg.Tbl.fold
+        (fun w orig acc ->
+          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
+        webs.Webs.origin Reg.Set.empty
+    in
+    let live = Liveness.compute fn in
+    let g0 = Igraph.build fn live in
+    let g = Igraph.copy g0 in
+    ignore (Coalesce.aggressive g);
+    let costs = Spill_cost.compute fn in
+    (* Member webs of every merge representative. *)
+    let groups : Reg.t list Reg.Tbl.t = Reg.Tbl.create 64 in
+    let add_member rep r =
+      let cur = try Reg.Tbl.find groups rep with Not_found -> [] in
+      Reg.Tbl.replace groups rep (r :: cur)
+    in
+    List.iter (fun r -> add_member (Igraph.alias g r) r) (Igraph.vnodes g0);
+    (* Optimistic simplification of the merged graph. *)
+    let no_spill r =
+      List.exists (fun w -> Reg.Set.mem w temps)
+        (try Reg.Tbl.find groups r with Not_found -> [ r ])
+    in
+    let simp =
+      Simplify.run Simplify.Optimistic ~k:m.Machine.k g
+        ~never_spill:no_spill ()
+        ~spill_choice:(fun blocked ->
+          let metric r =
+            if no_spill r then infinity
+            else
+              float_of_int (Spill_cost.merged_spill_cost costs g r)
+              /. float_of_int (max 1 (Igraph.degree g r))
+          in
+          match blocked with
+          | [] -> invalid_arg "spill_choice"
+          | first :: rest ->
+              List.fold_left
+                (fun acc r -> if metric r < metric acc then r else acc)
+                first rest)
+    in
+    (* Web-level coloring against the uncoalesced graph. *)
+    let color : Reg.t Reg.Tbl.t = Reg.Tbl.create 64 in
+    let color_of r =
+      if Reg.is_phys r then Some r else Reg.Tbl.find_opt color r
+    in
+    let forbidden_of r =
+      Reg.Set.fold
+        (fun nb acc ->
+          match color_of nb with
+          | Some c -> Reg.Set.add c acc
+          | None -> acc)
+        (Igraph.adj g0 r) Reg.Set.empty
+    in
+    let spilled = ref Reg.Set.empty in
+    (* Groups coalesced into a physical register never reach the select
+       stack; fix their color up front. *)
+    Reg.Tbl.iter
+      (fun rep members ->
+        if Reg.is_phys rep then
+          List.iter (fun w -> Reg.Tbl.replace color w rep) members)
+      groups;
+    let work = Queue.create () in
+    List.iter
+      (fun rep ->
+        if Reg.is_virtual rep then
+          Queue.add
+            {
+              members = (try Reg.Tbl.find groups rep with Not_found -> [ rep ]);
+              forced = None;
+            }
+            work)
+      simp.Simplify.stack;
+    while not (Queue.is_empty work) do
+      let grp = Queue.pop work in
+      let members = grp.members in
+      let forbidden =
+        List.fold_left
+          (fun acc w -> Reg.Set.union acc (forbidden_of w))
+          Reg.Set.empty members
+      in
+      let cls =
+        match members with
+        | w :: _ -> Cfg.cls_of fn w
+        | [] -> assert false
+      in
+      let free =
+        List.filter (fun c -> not (Reg.Set.mem c forbidden)) (k_regs cls)
+      in
+      let free =
+        match grp.forced with
+        | Some c -> List.filter (Reg.equal c) free
+        | None -> free
+      in
+      let vols, nonvols = List.partition (Machine.is_volatile m) free in
+      match nonvols @ vols with
+      | c :: _ -> List.iter (fun w -> Reg.Tbl.replace color w c) members
+      | [] -> (
+          match members with
+          | [ w ] -> spilled := Reg.Set.add w !spilled
+          | _ ->
+              (* Undo the coalesce: find the color covering the most
+                 spill cost, color that primary partition, push the
+                 rest to the bottom of the stack as singletons. *)
+              let benefit_of c =
+                List.filter
+                  (fun w -> not (Reg.Set.mem c (forbidden_of w)))
+                  members
+                |> List.fold_left
+                     (fun (ws, total) w ->
+                       (w :: ws, total + Spill_cost.spill_cost costs w))
+                     ([], 0)
+              in
+              let primary, _ =
+                List.fold_left
+                  (fun (best, best_b) c ->
+                    let ws, b = benefit_of c in
+                    (* Members must also not conflict with each other;
+                       webs merged together never interfere, so the set
+                       is internally consistent. *)
+                    if b > best_b then ((c, ws), b) else (best, best_b))
+                  ((Reg.phys cls 0, []), -1)
+                  (k_regs cls)
+              in
+              let c, ws = primary in
+              List.iter (fun w -> Reg.Tbl.replace color w c) ws;
+              List.iter
+                (fun w ->
+                  if not (List.exists (Reg.equal w) ws) then
+                    Queue.add { members = [ w ]; forced = None } work)
+                members)
+    done;
+    if Reg.Set.is_empty !spilled then begin
+      let alloc = Reg.Tbl.create 64 in
+      Reg.Set.iter
+        (fun r ->
+          match Reg.Tbl.find_opt color r with
+          | Some c -> Reg.Tbl.replace alloc r c
+          | None ->
+              raise
+                (Alloc_common.Failed ("optimistic: uncolored " ^ Reg.to_string r)))
+        (Cfg.all_vregs fn);
+      { Alloc_common.func = fn; alloc; rounds = n; spill_instrs }
+    end
+    else begin
+      let ins = Spill_insert.insert fn !spilled in
+      let temps =
+        Reg.Set.union temps
+          (Reg.Set.filter
+             (fun r -> r >= ins.Spill_insert.temp_watermark)
+             (Cfg.all_vregs ins.Spill_insert.func))
+      in
+      round ins.Spill_insert.func ~temps ~n:(n + 1)
+        ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+    end
+  in
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0

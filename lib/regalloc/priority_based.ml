@@ -1,0 +1,87 @@
+let name = "priority-based"
+
+let allocate (m : Machine.t) (f0 : Cfg.func) =
+  let f0 = Cfg.clone f0 in
+  let rec round fn ~temps ~n ~spill_instrs =
+    if n > 64 then
+      raise (Alloc_common.Failed "priority-based: too many rounds");
+    let webs = Webs.run fn in
+    let fn = webs.Webs.func in
+    let temps =
+      Reg.Tbl.fold
+        (fun w orig acc ->
+          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
+        webs.Webs.origin Reg.Set.empty
+    in
+    let live = Liveness.compute fn in
+    let g = Igraph.build fn live in
+    let costs = Spill_cost.compute fn in
+    (* Chow-Hennessy priority: savings per unit of range size. *)
+    let priority r =
+      let info = Spill_cost.info costs r in
+      float_of_int info.Spill_cost.spill_cost
+      /. float_of_int (max 1 (info.Spill_cost.n_defs + info.Spill_cost.n_uses))
+    in
+    let k = m.Machine.k in
+    let constrained, unconstrained =
+      List.partition (fun r -> Igraph.degree g r >= k) (Igraph.vnodes g)
+    in
+    let order =
+      List.sort (fun a b -> compare (priority b) (priority a)) constrained
+      @ List.sort Reg.compare unconstrained
+    in
+    let colors = Reg.Tbl.create 64 in
+    let color_of r =
+      if Reg.is_phys r then Some r else Reg.Tbl.find_opt colors r
+    in
+    let spilled = ref Reg.Set.empty in
+    List.iter
+      (fun r ->
+        let forbidden =
+          Reg.Set.fold
+            (fun nb acc ->
+              match color_of nb with
+              | Some c -> Reg.Set.add c acc
+              | None -> acc)
+            (Igraph.adj g r) Reg.Set.empty
+        in
+        let free =
+          List.filter
+            (fun c -> not (Reg.Set.mem c forbidden))
+            (Machine.all m (Igraph.cls g r))
+        in
+        let vol, nonvol = List.partition (Machine.is_volatile m) free in
+        match nonvol @ vol with
+        | c :: _ -> Reg.Tbl.replace colors r c
+        | [] ->
+            if Reg.Set.mem r temps then
+              raise
+                (Alloc_common.Failed "priority-based: spill temporary blocked")
+            else spilled := Reg.Set.add r !spilled)
+      order;
+    if Reg.Set.is_empty !spilled then begin
+      let alloc = Reg.Tbl.create 64 in
+      Reg.Set.iter
+        (fun r ->
+          match Reg.Tbl.find_opt colors r with
+          | Some c -> Reg.Tbl.replace alloc r c
+          | None ->
+              raise
+                (Alloc_common.Failed
+                   ("priority-based: uncolored " ^ Reg.to_string r)))
+        (Cfg.all_vregs fn);
+      { Alloc_common.func = fn; alloc; rounds = n; spill_instrs }
+    end
+    else begin
+      let ins = Spill_insert.insert fn !spilled in
+      let temps =
+        Reg.Set.union temps
+          (Reg.Set.filter
+             (fun r -> r >= ins.Spill_insert.temp_watermark)
+             (Cfg.all_vregs ins.Spill_insert.func))
+      in
+      round ins.Spill_insert.func ~temps ~n:(n + 1)
+        ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+    end
+  in
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0

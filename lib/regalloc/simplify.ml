@@ -1,0 +1,63 @@
+type mode = Chaitin | Optimistic
+
+type result = {
+  stack : Reg.t list;
+  potential_spills : Reg.Set.t;
+  forced_spills : Reg.Set.t;
+}
+
+let run mode ~k g ~spill_choice ?(never_spill = fun _ -> false) () =
+  let nodes = Igraph.vnodes g in
+  let degree = Reg.Tbl.create 64 in
+  let present = Reg.Tbl.create 64 in
+  List.iter
+    (fun r ->
+      Reg.Tbl.replace degree r (Igraph.degree g r);
+      Reg.Tbl.replace present r ())
+    nodes;
+  let deg r = try Reg.Tbl.find degree r with Not_found -> Igraph.infinite_degree in
+  let low = Queue.create () in
+  List.iter (fun r -> if deg r < k then Queue.add r low) nodes;
+  let stack = ref [] in
+  let potential = ref Reg.Set.empty in
+  let forced = ref Reg.Set.empty in
+  let remaining = ref (List.length nodes) in
+  let remove r =
+    Reg.Tbl.remove present r;
+    decr remaining;
+    Reg.Set.iter
+      (fun n ->
+        if Reg.Tbl.mem present n then begin
+          let d = deg n in
+          Reg.Tbl.replace degree n (d - 1);
+          if d = k then Queue.add n low
+        end)
+      (Igraph.adj g r)
+  in
+  while !remaining > 0 do
+    match Queue.take_opt low with
+    | Some r when Reg.Tbl.mem present r && deg r < k ->
+        stack := r :: !stack;
+        remove r
+    | Some _ -> () (* stale entry *)
+    | None -> (
+        let blocked =
+          Reg.Tbl.fold (fun r () acc -> r :: acc) present []
+          |> List.filter (fun r -> deg r >= k)
+        in
+        match blocked with
+        | [] -> () (* only stale low entries remained; loop again *)
+        | _ -> (
+            let victim = spill_choice blocked in
+            match mode with
+            | Chaitin when not (never_spill victim) ->
+                forced := Reg.Set.add victim !forced;
+                remove victim
+            | Chaitin | Optimistic ->
+                potential := Reg.Set.add victim !potential;
+                stack := victim :: !stack;
+                remove victim))
+  done;
+  { stack = !stack; potential_spills = !potential; forced_spills = !forced }
+
+let removal_order r = List.rev r.stack

@@ -1,0 +1,81 @@
+type info = {
+  spill_cost : int;
+  op_cost : int;
+  mem_cost : int;
+  n_defs : int;
+  n_uses : int;
+}
+
+type t = info Reg.Tbl.t
+
+let zero = { spill_cost = 0; op_cost = 0; mem_cost = 0; n_defs = 0; n_uses = 0 }
+
+(* Inst_Cost(I): 2 for memory operations, undefined (excluded) for
+   calls, 1 otherwise. *)
+let site_op_cost = function
+  | Instr.Load _ | Instr.Load_pair _ | Instr.Store _ | Instr.Reload _
+  | Instr.Spill _ ->
+      Costs.memory_op
+  | Instr.Call _ -> 0
+  | Instr.Move _ | Instr.Const _ | Instr.Unop _ | Instr.Binop _ | Instr.Cmp _
+  | Instr.Limited _ | Instr.Param _ | Instr.Jump _ | Instr.Branch _
+  | Instr.Ret _ | Instr.Phi _ ->
+      Costs.op
+
+let compute (f : Cfg.func) =
+  let loops = Loops.compute f in
+  let tbl : t = Reg.Tbl.create 128 in
+  let get r = try Reg.Tbl.find tbl r with Not_found -> zero in
+  Cfg.iter_instrs f (fun b i ->
+      let freq = Loops.frequency loops b.Cfg.label in
+      let kind = i.Instr.kind in
+      let opc = site_op_cost kind * freq in
+      List.iter
+        (fun r ->
+          if Reg.is_virtual r then begin
+            let c = get r in
+            Reg.Tbl.replace tbl r
+              {
+                c with
+                spill_cost = c.spill_cost + (Costs.store * freq);
+                op_cost = c.op_cost + opc;
+                n_defs = c.n_defs + 1;
+              }
+          end)
+        (Instr.defs kind);
+      List.iter
+        (fun r ->
+          if Reg.is_virtual r then begin
+            let c = get r in
+            Reg.Tbl.replace tbl r
+              {
+                c with
+                spill_cost = c.spill_cost + (Costs.load * freq);
+                op_cost = c.op_cost + opc;
+                n_uses = c.n_uses + 1;
+              }
+          end)
+        (Instr.uses kind));
+  Reg.Tbl.iter
+    (fun r c ->
+      Reg.Tbl.replace tbl r { c with mem_cost = c.spill_cost + c.op_cost })
+    tbl;
+  tbl
+
+let info t r = try Reg.Tbl.find t r with Not_found -> zero
+let spill_cost t r = (info t r).spill_cost
+let mem_cost t r = (info t r).mem_cost
+
+let merged_spill_cost t g rep =
+  let rep = Igraph.alias g rep in
+  Reg.Tbl.fold
+    (fun r c acc ->
+      if Reg.equal (Igraph.alias g r) rep then acc + c.spill_cost else acc)
+    t 0
+
+let chaitin_metric t g ~no_spill rep =
+  if no_spill rep then infinity
+  else
+    let cost = float_of_int (merged_spill_cost t g rep) in
+    let deg = float_of_int (max 1 (Igraph.degree g rep)) in
+    cost /. deg

@@ -1,0 +1,39 @@
+(** Spill-cost estimation (paper Appendix).
+
+    For a register [V]:
+    - [Spill_Cost(V)] — added memory traffic when spilled: a 2-cycle
+      load per use and a 1-cycle store per definition, weighted by the
+      execution frequency of the site;
+    - [Op_Cost(V)] — cost of the operations using or defining [V]
+      (2 cycles for memory operations, 1 otherwise, calls excluded),
+      same weighting;
+    - [Mem_Cost(V) = Spill_Cost(V) + Op_Cost(V)] — the baseline cost
+      the preference strengths are measured against. *)
+
+type info = {
+  spill_cost : int;
+  op_cost : int;
+  mem_cost : int;
+  n_defs : int;
+  n_uses : int;
+}
+
+type t
+
+val compute : Cfg.func -> t
+
+val info : t -> Reg.t -> info
+(** Zero costs for a register that never occurs. *)
+
+val spill_cost : t -> Reg.t -> int
+val mem_cost : t -> Reg.t -> int
+
+val merged_spill_cost : t -> Igraph.t -> Reg.t -> int
+(** Sum of [spill_cost] over every register whose merge representative
+    is this node. *)
+
+val chaitin_metric :
+  t -> Igraph.t -> no_spill:(Reg.t -> bool) -> Reg.t -> float
+(** The classic spill-candidate metric [cost / degree]; lower is a
+    better victim.  Registers satisfying [no_spill] (eg. spill-code
+    temporaries) get an effectively infinite metric. *)

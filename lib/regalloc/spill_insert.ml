@@ -1,0 +1,153 @@
+type result = {
+  func : Cfg.func;
+  n_spill_instrs : int;
+  n_rematerialized : int;
+  temp_watermark : Reg.t;
+}
+
+let next_slot (f : Cfg.func) =
+  Cfg.fold_instrs f
+    (fun acc _ i ->
+      match i.Instr.kind with
+      | Instr.Spill { slot; _ } | Instr.Reload { slot; _ } ->
+          max acc (slot + 1)
+      | _ -> acc)
+    0
+
+let insert ?(rematerialize = false) (f : Cfg.func) (spilled : Reg.Set.t) =
+  Reg.Set.iter
+    (fun r ->
+      if not (Reg.is_virtual r) then
+        invalid_arg "Spill_insert.insert: physical register")
+    spilled;
+  let temp_watermark = f.Cfg.next_reg in
+  (* Rematerializable victims: a single definition, and it is a
+     constant.  Their value is recomputed at each use instead of being
+     stored and reloaded. *)
+  let remat : int64 Reg.Tbl.t = Reg.Tbl.create 8 in
+  let def_count = Reg.Tbl.create 16 in
+  if rematerialize then
+  Cfg.iter_instrs f (fun _ i ->
+      List.iter
+        (fun r ->
+          if Reg.Set.mem r spilled then begin
+            let c = try Reg.Tbl.find def_count r with Not_found -> 0 in
+            Reg.Tbl.replace def_count r (c + 1);
+            match i.Instr.kind with
+            | Instr.Const { value; _ } when c = 0 -> Reg.Tbl.replace remat r value
+            | _ -> Reg.Tbl.remove remat r
+          end)
+        (Instr.defs i.Instr.kind));
+  Reg.Tbl.iter
+    (fun r c -> if c > 1 then Reg.Tbl.remove remat r)
+    def_count;
+  let n_rematerialized = ref 0 in
+  let slot_counter = ref (next_slot f) in
+  let slots = Reg.Tbl.create 16 in
+  let slot_of r =
+    match Reg.Tbl.find_opt slots r with
+    | Some s -> s
+    | None ->
+        let s = !slot_counter in
+        incr slot_counter;
+        Reg.Tbl.replace slots r s;
+        s
+  in
+  let count = ref 0 in
+  let rewrite_general (i : Instr.t) =
+    let kind = i.Instr.kind in
+    let used =
+      List.filter (fun r -> Reg.Set.mem r spilled) (Instr.uses kind)
+      |> List.sort_uniq Reg.compare
+    in
+    let reloads, use_map =
+      List.fold_left
+        (fun (rs, m) r ->
+          let t = Cfg.fresh_reg f (Cfg.cls_of f r) in
+          match Reg.Tbl.find_opt remat r with
+          | Some value ->
+              incr n_rematerialized;
+              ( Cfg.instr f (Instr.Const { dst = t; value }) :: rs,
+                (r, t) :: m )
+          | None ->
+              ( Cfg.instr f (Instr.Reload { dst = t; slot = slot_of r }) :: rs,
+                (r, t) :: m ))
+        ([], []) used
+    in
+    let kind =
+      Instr.map_uses
+        (fun r -> match List.assoc_opt r use_map with Some t -> t | None -> r)
+        kind
+    in
+    let kind, stores, drop_instr =
+      match List.filter (fun r -> Reg.Set.mem r spilled) (Instr.defs kind) with
+      | [] -> (kind, [], false)
+      | [ d ] when Reg.Tbl.mem remat d ->
+          (* The constant is re-issued at each use; its definition and
+             any store vanish entirely. *)
+          (kind, [], true)
+      | [ d ] ->
+          let t = Cfg.fresh_reg f (Cfg.cls_of f d) in
+          ( Instr.map_defs (fun r -> if Reg.equal r d then t else r) kind,
+            [ Cfg.instr f (Instr.Spill { src = t; slot = slot_of d }) ],
+            false )
+      | _ -> assert false (* at most one definition per instruction *)
+    in
+    count :=
+      !count
+      + List.length
+          (List.filter
+             (fun i ->
+               match i.Instr.kind with
+               | Instr.Reload _ | Instr.Spill _ -> true
+               | _ -> false)
+             reloads)
+      + List.length stores;
+    if drop_instr then List.rev reloads
+    else List.rev_append reloads ({ i with Instr.kind } :: stores)
+  in
+  (* Copies never go through temporaries: a temp-to-temp move would
+     immediately re-coalesce into the cluster that was just spilled and
+     reproduce the conflict forever. *)
+  let rewrite (i : Instr.t) =
+    match i.Instr.kind with
+    | Instr.Move { dst; src }
+      when Reg.Set.mem dst spilled || Reg.Set.mem src spilled -> (
+        (* A rematerialized source is re-issued as a constant, never
+           reloaded (its slot is never written). *)
+        let load_src t =
+          match Reg.Tbl.find_opt remat src with
+          | Some value ->
+              incr n_rematerialized;
+              Cfg.instr f (Instr.Const { dst = t; value })
+          | None ->
+              incr count;
+              Cfg.instr f (Instr.Reload { dst = t; slot = slot_of src })
+        in
+        match (Reg.Set.mem dst spilled, Reg.Set.mem src spilled) with
+        | true, true ->
+            let t = Cfg.fresh_reg f (Cfg.cls_of f dst) in
+            incr count;
+            [
+              load_src t;
+              Cfg.instr f (Instr.Spill { src = t; slot = slot_of dst });
+            ]
+        | true, false ->
+            incr count;
+            [ Cfg.instr f (Instr.Spill { src; slot = slot_of dst }) ]
+        | false, true -> [ load_src dst ]
+        | false, false -> assert false)
+    | _ -> rewrite_general i
+  in
+  let blocks =
+    List.map
+      (fun (b : Cfg.block) ->
+        { b with Cfg.instrs = List.concat_map rewrite b.Cfg.instrs })
+      f.Cfg.blocks
+  in
+  {
+    func = Cfg.with_blocks f blocks;
+    n_spill_instrs = !count;
+    n_rematerialized = !n_rematerialized;
+    temp_watermark;
+  }

@@ -1,0 +1,29 @@
+(** Spill code insertion.
+
+    A spilled register's live range is split into tiny ranges: the
+    value is stored to a fresh frame slot after each definition and
+    reloaded into a fresh temporary before each use (paper §2).
+
+    Temporaries created here must not be spilled again; the caller
+    tracks them with the returned watermark (every register at or above
+    the pre-call [next_reg] is a spill temporary). *)
+
+type result = {
+  func : Cfg.func;
+  n_spill_instrs : int;  (** stores + reloads inserted *)
+  n_rematerialized : int;
+      (** uses that re-issue the defining constant instead of reloading *)
+  temp_watermark : Reg.t;
+      (** registers >= watermark were created by this pass *)
+}
+
+val next_slot : Cfg.func -> int
+(** First unused frame-slot number. *)
+
+val insert : ?rematerialize:bool -> Cfg.func -> Reg.Set.t -> result
+(** With [rematerialize] (default [false] — the paper's allocators store
+    and reload unconditionally), a spilled register whose only
+    definition is a constant is rematerialized (Briggs): its definition
+    disappears and each use re-issues the constant, with no frame
+    traffic at all.
+    @raise Invalid_argument if asked to spill a physical register. *)

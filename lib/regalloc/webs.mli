@@ -1,0 +1,16 @@
+(** Live-range renaming — Chaitin's "renumber" phase.
+
+    A web is a maximal set of definitions and uses of one source
+    register connected through def-use chains: two definitions belong
+    together when some use is reached by both.  Each web becomes a fresh
+    virtual register, the unit of allocation.
+
+    Physical registers are never renamed. *)
+
+type t = {
+  func : Cfg.func;  (** body rewritten with one register per web *)
+  origin : Reg.t Reg.Tbl.t;
+      (** web register -> the source register it renames *)
+}
+
+val run : Cfg.func -> t

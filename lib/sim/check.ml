@@ -1,0 +1,31 @@
+let machine_func (m : Machine.t) (fn : Cfg.func) =
+  match Cfg.validate fn with
+  | Error _ as e -> e
+  | Ok () -> (
+      let exception Bad of string in
+      try
+        Cfg.iter_instrs fn (fun b i ->
+            (match i.Instr.kind with
+            | Instr.Param _ -> raise (Bad "Param survived lowering")
+            | Instr.Phi _ -> raise (Bad "Phi survived SSA destruction")
+            | _ -> ());
+            List.iter
+              (fun r ->
+                if Reg.is_virtual r then
+                  raise
+                    (Bad
+                       (Printf.sprintf "virtual %s at L%d in %s"
+                          (Reg.to_string r) b.Cfg.label fn.Cfg.name));
+                if not (Machine.is_allocatable m r) then
+                  raise
+                    (Bad
+                       (Printf.sprintf "%s outside the register file"
+                          (Reg.to_string r))))
+              (Instr.defs i.Instr.kind @ Instr.uses i.Instr.kind));
+        Ok ()
+      with Bad msg -> Error msg)
+
+let machine_program m (p : Cfg.program) =
+  List.fold_left
+    (fun acc fn -> match acc with Error _ -> acc | Ok () -> machine_func m fn)
+    (Ok ()) p.Cfg.funcs

@@ -1,0 +1,7 @@
+(** Machine-code validation after allocation and finalization. *)
+
+val machine_func : Machine.t -> Cfg.func -> (unit, string) result
+(** Structural CFG validity, every register physical and allocatable,
+    no [Param] or [Phi] left. *)
+
+val machine_program : Machine.t -> Cfg.program -> (unit, string) result

@@ -1,0 +1,48 @@
+(** IR interpreter and dynamic cycle counter.
+
+    Executes a whole program — virtual, lowered or fully allocated —
+    with one shared physical register file (that is what makes lowered
+    calling conventions and caller/callee saves meaningful), a frame of
+    spill slots per activation, and a word-addressed heap.
+
+    The interpreter serves two purposes:
+    - {b semantics oracle}: a correct allocator must not change the
+      program's result, so tests compare the value computed before and
+      after allocation;
+    - {b performance model}: executed instructions are charged the
+      paper's cycle costs ({!Costs}), fused paired loads execute at the
+      cost of one load when the machine's pairing rule holds for their
+      destination registers, and limited operations missing the limited
+      set pay the fixup cycle.  The resulting cycle counts are the
+      "execution time" series of Figs. 10 and 11. *)
+
+type value = Int of int | Flt of float
+
+type stats = {
+  cycles : int;
+  instrs : int;
+  moves : int;
+  mem_ops : int;  (** heap loads + stores *)
+  spill_ops : int;  (** frame spills + reloads (incl. save/restore) *)
+  calls : int;
+  fused_pairs : int;  (** dynamic count of loads absorbed by pairing *)
+  limited_fixups : int;
+}
+
+type result = { value : value option; stats : stats }
+
+exception Out_of_fuel
+exception Runtime_error of string
+
+val run :
+  ?machine:Machine.t ->
+  ?heap_size:int ->
+  ?fuel:int ->
+  ?args:value list ->
+  Cfg.program ->
+  result
+(** Runs the program's [main].  [machine] enables the allocation-aware
+    cost effects (pairing, fixups); omit it for virtual code.  Default
+    [heap_size] 4096 words, [fuel] 30 million instructions. *)
+
+val equal_value : value option -> value option -> bool

@@ -1,0 +1,10 @@
+(** Static cycle estimation.
+
+    Frequency-weighted sum of instruction costs over the body:
+    [Σ freq(block) * cost(instr)], with the allocation-aware effects of
+    the dynamic model (paired-load fusion, limited-op fixups) applied.
+    A fast, deterministic stand-in for the interpreter when only
+    relative magnitudes matter. *)
+
+val func : ?machine:Machine.t -> Cfg.func -> int
+val program : ?machine:Machine.t -> Cfg.program -> int

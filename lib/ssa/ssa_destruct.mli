@@ -1,0 +1,19 @@
+(** SSA destruction: phi elimination by copy insertion.
+
+    Critical edges are split, then each phi turns into one copy per
+    predecessor edge, with the per-edge copies treated as a parallel
+    copy and sequentialized (cycles broken with a fresh temporary).
+
+    This is what puts the "many copy operations" of naive SSA-translated
+    code (paper §1) in front of the register allocator: the copies are
+    exactly the coalescing candidates the allocators compete on. *)
+
+val run : Cfg.func -> Cfg.func
+
+val sequentialize : fresh:(Reg.t -> Reg.t) -> (Reg.t * Reg.t) list
+  -> (Reg.t * Reg.t) list
+(** [sequentialize ~fresh copies] orders a parallel copy (list of
+    [(dst, src)] with distinct destinations) into a sequence of moves
+    with the same effect.  [fresh r] supplies a temporary of [r]'s
+    class when a cyclic permutation must be broken.  Exposed for
+    testing. *)

@@ -1,0 +1,108 @@
+let names =
+  [ "compress"; "jess"; "db"; "javac"; "mpegaudio"; "mtrt"; "jack" ]
+
+let fp_names = [ "mpegaudio"; "mtrt" ]
+
+let profile = function
+  | "compress" ->
+      {
+        Gen.name = "compress";
+        seed = 1001;
+        n_funcs = 6;
+        blocks = (4, 7);
+        stmts = (4, 8);
+        max_loop_depth = 2;
+        call_density = 0.03;
+        float_ratio = 0.05;
+        paired_ratio = 0.10;
+        limited_ratio = 0.12;
+        pressure = 18;
+      }
+  | "jess" ->
+      {
+        Gen.name = "jess";
+        seed = 1002;
+        n_funcs = 14;
+        blocks = (2, 5);
+        stmts = (2, 5);
+        max_loop_depth = 1;
+        call_density = 0.28;
+        float_ratio = 0.05;
+        paired_ratio = 0.05;
+        limited_ratio = 0.05;
+        pressure = 12;
+      }
+  | "db" ->
+      {
+        Gen.name = "db";
+        seed = 1003;
+        n_funcs = 10;
+        blocks = (3, 6);
+        stmts = (3, 6);
+        max_loop_depth = 2;
+        call_density = 0.20;
+        float_ratio = 0.03;
+        paired_ratio = 0.08;
+        limited_ratio = 0.06;
+        pressure = 15;
+      }
+  | "javac" ->
+      {
+        Gen.name = "javac";
+        seed = 1004;
+        n_funcs = 12;
+        blocks = (5, 9);
+        stmts = (3, 7);
+        max_loop_depth = 2;
+        call_density = 0.15;
+        float_ratio = 0.04;
+        paired_ratio = 0.06;
+        limited_ratio = 0.10;
+        pressure = 20;
+      }
+  | "mpegaudio" ->
+      {
+        Gen.name = "mpegaudio";
+        seed = 1005;
+        n_funcs = 7;
+        blocks = (4, 7);
+        stmts = (4, 8);
+        max_loop_depth = 2;
+        call_density = 0.05;
+        float_ratio = 0.55;
+        paired_ratio = 0.35;
+        limited_ratio = 0.03;
+        pressure = 18;
+      }
+  | "mtrt" ->
+      {
+        Gen.name = "mtrt";
+        seed = 1006;
+        n_funcs = 10;
+        blocks = (3, 6);
+        stmts = (3, 6);
+        max_loop_depth = 1;
+        call_density = 0.18;
+        float_ratio = 0.45;
+        paired_ratio = 0.15;
+        limited_ratio = 0.04;
+        pressure = 14;
+      }
+  | "jack" ->
+      {
+        Gen.name = "jack";
+        seed = 1007;
+        n_funcs = 13;
+        blocks = (2, 5);
+        stmts = (2, 5);
+        max_loop_depth = 1;
+        call_density = 0.32;
+        float_ratio = 0.03;
+        paired_ratio = 0.04;
+        limited_ratio = 0.08;
+        pressure = 10;
+      }
+  | other -> invalid_arg ("Suite.profile: unknown benchmark " ^ other)
+
+let program name = Gen.generate (profile name)
+let all () = List.map (fun n -> (n, program n)) names

@@ -1,0 +1,29 @@
+(** The synthetic SPECjvm98-like benchmark suite.
+
+    The paper evaluates on SPECjvm98 (minus [check], which runs too
+    briefly to time).  We cannot run Java, so each test is replaced by
+    a deterministic synthetic program whose character matches the
+    paper's description of that test:
+
+    - [compress]: tight integer loops, few calls, high pressure;
+    - [jess]: "makes frequent function calls" — many small functions,
+      high call density;
+    - [db]: call-heavy with many memory operations;
+    - [javac]: large functions, deep branching, high pressure,
+      frequent calls;
+    - [mpegaudio]: floating-point kernels full of paired-load
+      opportunities, few calls (its fp spills vanish at 32 registers
+      in Fig. 9);
+    - [mtrt]: floating point plus calls;
+    - [jack]: parser-like, the most call-dense, modest pressure. *)
+
+val names : string list
+val profile : string -> Gen.profile
+(** @raise Invalid_argument for an unknown name. *)
+
+val program : string -> Cfg.program
+val all : unit -> (string * Cfg.program) list
+
+val fp_names : string list
+(** Tests whose floating-point side is reported separately in Fig. 9
+    ("mpegaudio fp", "mtrt fp"). *)

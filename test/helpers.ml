@@ -1,0 +1,103 @@
+(* Shared test utilities. *)
+
+let check = Alcotest.check
+let tc name f = Alcotest.test_case name `Quick f
+
+let reg_testable : Reg.t Alcotest.testable =
+  Alcotest.testable Reg.pp Reg.equal
+
+let reg_set_testable : Reg.Set.t Alcotest.testable =
+  Alcotest.testable
+    (fun ppf s ->
+      Format.fprintf ppf "{%a}"
+        (Format.pp_print_list ~pp_sep:Fmt.comma Reg.pp)
+        (Reg.Set.elements s))
+    Reg.Set.equal
+
+(* A straight-line function: r = (a + b) * a; ret r. *)
+let straightline () =
+  let b = Builder.create ~name:"straight" ~n_params:2 in
+  let a = Builder.reg b Reg.Int_class in
+  let c = Builder.reg b Reg.Int_class in
+  Builder.param b a 0;
+  Builder.param b c 1;
+  let s = Builder.binop b Instr.Add a c in
+  let r = Builder.binop b Instr.Mul s a in
+  Builder.ret b (Some r);
+  (Builder.finish b, a, c, s, r)
+
+(* A diamond: x = p0; if p0 < p1 then x = p0 + 1 else x = p1 + 2; ret x. *)
+let diamond () =
+  let b = Builder.create ~name:"diamond" ~n_params:2 in
+  let p0 = Builder.reg b Reg.Int_class in
+  let p1 = Builder.reg b Reg.Int_class in
+  Builder.param b p0 0;
+  Builder.param b p1 1;
+  let x = Builder.reg b Reg.Int_class in
+  Builder.move b ~dst:x ~src:p0;
+  let c = Builder.cmp b Instr.Lt p0 p1 in
+  let t = Builder.new_block b in
+  let f = Builder.new_block b in
+  let j = Builder.new_block b in
+  Builder.branch b c ~ifso:t ~ifnot:f;
+  Builder.switch_to b t;
+  let one = Builder.iconst b 1 in
+  Builder.emit b (Instr.Binop { op = Instr.Add; dst = x; src1 = p0; src2 = one });
+  Builder.jump b j;
+  Builder.switch_to b f;
+  let two = Builder.iconst b 2 in
+  Builder.emit b (Instr.Binop { op = Instr.Add; dst = x; src1 = p1; src2 = two });
+  Builder.jump b j;
+  Builder.switch_to b j;
+  Builder.ret b (Some x);
+  (Builder.finish b, p0, p1, x)
+
+(* A counted loop: acc = 0; for i = 0..n-1 do acc += i done; ret acc. *)
+let counted_loop ?(trip = 5) () =
+  let b = Builder.create ~name:"loop" ~n_params:0 in
+  let n = Builder.iconst b trip in
+  let acc = Builder.iconst b 0 in
+  let i = Builder.iconst b 0 in
+  let header = Builder.new_block b in
+  let body = Builder.new_block b in
+  let exit = Builder.new_block b in
+  Builder.jump b header;
+  Builder.switch_to b header;
+  let c = Builder.cmp b Instr.Lt i n in
+  Builder.branch b c ~ifso:body ~ifnot:exit;
+  Builder.switch_to b body;
+  Builder.emit b (Instr.Binop { op = Instr.Add; dst = acc; src1 = acc; src2 = i });
+  let one = Builder.iconst b 1 in
+  Builder.emit b (Instr.Binop { op = Instr.Add; dst = i; src1 = i; src2 = one });
+  Builder.jump b header;
+  Builder.switch_to b exit;
+  Builder.ret b (Some acc);
+  (Builder.finish b, acc, i, header, body, exit)
+
+(* Deterministic random programs for property tests. *)
+let random_program seed =
+  let rng = Rng.create seed in
+  Gen.generate (Gen.random_profile rng)
+
+let prepared_random_program ?(m = Machine.middle_pressure) seed =
+  Pipeline.prepare m (random_program seed)
+
+(* Semantic-equivalence oracle: allocated code must compute the same
+   value as the virtual code. *)
+let assert_semantics_preserved ?(m = Machine.middle_pressure) name algo seed =
+  let prepared = prepared_random_program ~m seed in
+  let before = Interp.run prepared in
+  let a = Pipeline.allocate_program algo m prepared in
+  let after = Interp.run ~machine:m a.Pipeline.program in
+  if not (Interp.equal_value before.Interp.value after.Interp.value) then
+    Alcotest.failf "%s: seed %d changed the program's result" name seed
+
+(* Allocation-validity oracle on one function. *)
+let assert_valid_allocation m (res : Alloc_common.result) =
+  Alloc_common.check_complete m res
+
+let qcheck ?(count = 50) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+let seed_gen = QCheck2.Gen.int_range 0 100_000

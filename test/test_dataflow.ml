@@ -1,0 +1,314 @@
+(* Tests for liveness, reaching definitions, dominance and loops. *)
+
+open Helpers
+
+(* Liveness ------------------------------------------------------------ *)
+
+let test_liveness_straightline () =
+  let fn, a, b, s, r = straightline () in
+  let live = Liveness.compute fn in
+  check reg_set_testable "nothing live at entry" Reg.Set.empty
+    (Liveness.live_in live fn.Cfg.entry);
+  let entry = Cfg.block fn fn.Cfg.entry in
+  let after =
+    Liveness.fold_block_backward live entry ~init:[]
+      ~f:(fun acc ~live_out i -> (i.Instr.kind, live_out) :: acc)
+  in
+  List.iter
+    (fun (kind, live_out) ->
+      match kind with
+      | Instr.Binop { op = Instr.Add; _ } ->
+          (* after a+b: s and a live (both used by the mul). *)
+          check reg_set_testable "after add" (Reg.Set.of_list [ s; a ]) live_out
+      | Instr.Binop { op = Instr.Mul; _ } ->
+          check reg_set_testable "after mul" (Reg.Set.singleton r) live_out
+      | Instr.Param { index = 1; _ } ->
+          check reg_set_testable "after params" (Reg.Set.of_list [ a; b ])
+            live_out
+      | _ -> ())
+    after
+
+let test_liveness_loop () =
+  let fn, acc, i, header, _, _ = counted_loop () in
+  let live = Liveness.compute fn in
+  let at_header = Liveness.live_in live header in
+  check Alcotest.bool "acc live around loop" true (Reg.Set.mem acc at_header);
+  check Alcotest.bool "i live around loop" true (Reg.Set.mem i at_header)
+
+let find_ret_block (fn : Cfg.func) =
+  List.find
+    (fun (b : Cfg.block) ->
+      match (Cfg.terminator b).Instr.kind with
+      | Instr.Ret _ -> true
+      | _ -> false)
+    fn.Cfg.blocks
+
+let test_liveness_diamond () =
+  let fn, p0, p1, x = diamond () in
+  let live = Liveness.compute fn in
+  let join = find_ret_block fn in
+  check reg_set_testable "only x live at join" (Reg.Set.singleton x)
+    (Liveness.live_in live join.Cfg.label);
+  let entry_out = Liveness.live_out live fn.Cfg.entry in
+  check Alcotest.bool "p0 live into arms" true (Reg.Set.mem p0 entry_out);
+  check Alcotest.bool "p1 live into arms" true (Reg.Set.mem p1 entry_out)
+
+let test_live_across_calls () =
+  let b = Builder.create ~name:"f" ~n_params:1 in
+  let x = Builder.reg b Reg.Int_class in
+  Builder.param b x 0;
+  let y = Builder.call b "g" [ x ] in
+  let z = Builder.binop b Instr.Add x y in
+  Builder.ret b (Some z);
+  let fn = Builder.finish b in
+  let live = Liveness.compute fn in
+  let crossings = Liveness.live_across_calls fn live in
+  check Alcotest.int "x crosses once" 1 (Hashtbl.find crossings x);
+  check Alcotest.bool "y does not cross" false (Hashtbl.mem crossings y)
+
+let prop_liveness_undefined_free =
+  qcheck "generated programs have no undefined uses" seed_gen (fun seed ->
+      let p = random_program seed in
+      List.for_all
+        (fun fn ->
+          let live = Liveness.compute fn in
+          Reg.Set.is_empty
+            (Reg.Set.filter Reg.is_virtual (Liveness.live_in live fn.Cfg.entry)))
+        p.Cfg.funcs)
+
+let prop_live_out_is_join_of_succs =
+  qcheck ~count:25 "live_out = union of successors' live_in" seed_gen
+    (fun seed ->
+      let p = random_program seed in
+      List.for_all
+        (fun fn ->
+          let live = Liveness.compute fn in
+          List.for_all
+            (fun (b : Cfg.block) ->
+              let expected =
+                List.fold_left
+                  (fun acc s -> Reg.Set.union acc (Liveness.live_in live s))
+                  Reg.Set.empty (Cfg.successors b)
+              in
+              Reg.Set.equal expected (Liveness.live_out live b.Cfg.label))
+            fn.Cfg.blocks)
+        p.Cfg.funcs)
+
+(* Reaching definitions ------------------------------------------------- *)
+
+let test_reaching_straightline () =
+  let fn, a, _, _, _ = straightline () in
+  let reaching = Reaching.compute fn in
+  let defs_a = Reaching.defs_of_reg reaching a in
+  check Alcotest.int "a has one def" 1 (List.length defs_a);
+  check reg_testable "def register" a
+    (Reaching.reg_of_def reaching (List.hd defs_a))
+
+let test_reaching_diamond () =
+  let fn, _, _, x = diamond () in
+  let reaching = Reaching.compute fn in
+  check Alcotest.int "x has three defs" 3
+    (List.length (Reaching.defs_of_reg reaching x));
+  let join = find_ret_block fn in
+  let at_join = Reaching.reaching_in reaching join.Cfg.label in
+  let x_defs_reaching =
+    Reaching.Int_set.filter
+      (fun d -> Reg.equal (Reaching.reg_of_def reaching d) x)
+      at_join
+  in
+  (* The arm definitions kill the initial move on both paths. *)
+  check Alcotest.int "two defs reach the join" 2
+    (Reaching.Int_set.cardinal x_defs_reaching)
+
+let test_reaching_loop () =
+  let fn, acc, _, header, _, _ = counted_loop () in
+  let reaching = Reaching.compute fn in
+  let at_header = Reaching.reaching_in reaching header in
+  let acc_defs =
+    Reaching.Int_set.filter
+      (fun d -> Reg.equal (Reaching.reg_of_def reaching d) acc)
+      at_header
+  in
+  check Alcotest.int "both defs reach header" 2
+    (Reaching.Int_set.cardinal acc_defs)
+
+(* Dominance ------------------------------------------------------------ *)
+
+let test_dominance_diamond () =
+  let fn, _, _, _ = diamond () in
+  let dom = Dominance.compute fn in
+  let blocks = List.map (fun (b : Cfg.block) -> b.Cfg.label) fn.Cfg.blocks in
+  let entry = fn.Cfg.entry in
+  List.iter
+    (fun l ->
+      check Alcotest.bool
+        (Printf.sprintf "entry dominates L%d" l)
+        true
+        (Dominance.dominates dom entry l))
+    blocks;
+  check Alcotest.bool "entry has no idom" true (Dominance.idom dom entry = None);
+  let join = find_ret_block fn in
+  check (Alcotest.option Alcotest.int) "join idom" (Some entry)
+    (Dominance.idom dom join.Cfg.label)
+
+let test_dominance_frontier () =
+  let fn, _, _, _ = diamond () in
+  let dom = Dominance.compute fn in
+  let join = find_ret_block fn in
+  let arms =
+    List.filter
+      (fun (b : Cfg.block) ->
+        b.Cfg.label <> fn.Cfg.entry && b.Cfg.label <> join.Cfg.label)
+      fn.Cfg.blocks
+  in
+  List.iter
+    (fun (b : Cfg.block) ->
+      check (Alcotest.list Alcotest.int)
+        (Printf.sprintf "frontier of L%d" b.Cfg.label)
+        [ join.Cfg.label ]
+        (Dominance.frontier dom b.Cfg.label))
+    arms;
+  check (Alcotest.list Alcotest.int) "join frontier empty" []
+    (Dominance.frontier dom join.Cfg.label)
+
+let test_dominance_loop_frontier () =
+  let fn, _, _, header, body, _ = counted_loop () in
+  let dom = Dominance.compute fn in
+  check Alcotest.bool "body frontier has header" true
+    (List.mem header (Dominance.frontier dom body));
+  check Alcotest.bool "header dominates body" true
+    (Dominance.dominates dom header body)
+
+let test_dom_children_partition () =
+  let fn, _, _, _ = diamond () in
+  let dom = Dominance.compute fn in
+  let labels = Dominance.labels dom in
+  let from_children =
+    List.concat_map (fun l -> Dominance.children dom l) labels
+  in
+  check Alcotest.int "tree size" (List.length labels - 1)
+    (List.length from_children);
+  check
+    (Alcotest.list Alcotest.int)
+    "children unique"
+    (List.sort_uniq compare from_children)
+    (List.sort compare from_children)
+
+let prop_idom_dominates =
+  qcheck ~count:25 "immediate dominator dominates its node" seed_gen
+    (fun seed ->
+      let p = random_program seed in
+      List.for_all
+        (fun fn ->
+          let dom = Dominance.compute fn in
+          List.for_all
+            (fun l ->
+              match Dominance.idom dom l with
+              | None -> l = fn.Cfg.entry
+              | Some d -> Dominance.dominates dom d l && d <> l)
+            (Dominance.labels dom))
+        p.Cfg.funcs)
+
+(* Loops ---------------------------------------------------------------- *)
+
+let test_loop_depth () =
+  let fn, _, _, header, body, exit = counted_loop () in
+  let loops = Loops.compute fn in
+  check Alcotest.int "header depth" 1 (Loops.depth loops header);
+  check Alcotest.int "body depth" 1 (Loops.depth loops body);
+  check Alcotest.int "exit depth" 0 (Loops.depth loops exit);
+  check Alcotest.int "entry depth" 0 (Loops.depth loops fn.Cfg.entry);
+  check Alcotest.int "body frequency" 10 (Loops.frequency loops body);
+  check Alcotest.int "exit frequency" 1 (Loops.frequency loops exit);
+  check (Alcotest.list Alcotest.int) "headers" [ header ]
+    (Loops.loop_headers loops)
+
+let test_nested_loop_depth () =
+  let b = Builder.create ~name:"nested" ~n_params:0 in
+  let n = Builder.iconst b 3 in
+  let i = Builder.iconst b 0 in
+  let h1 = Builder.new_block b in
+  let b1 = Builder.new_block b in
+  let h2 = Builder.new_block b in
+  let b2 = Builder.new_block b in
+  let x1 = Builder.new_block b in
+  let x2 = Builder.new_block b in
+  Builder.jump b h1;
+  Builder.switch_to b h1;
+  let c1 = Builder.cmp b Instr.Lt i n in
+  Builder.branch b c1 ~ifso:b1 ~ifnot:x1;
+  Builder.switch_to b b1;
+  let j = Builder.iconst b 0 in
+  Builder.jump b h2;
+  Builder.switch_to b h2;
+  let c2 = Builder.cmp b Instr.Lt j n in
+  Builder.branch b c2 ~ifso:b2 ~ifnot:x2;
+  Builder.switch_to b b2;
+  let one = Builder.iconst b 1 in
+  Builder.emit b (Instr.Binop { op = Instr.Add; dst = j; src1 = j; src2 = one });
+  Builder.jump b h2;
+  Builder.switch_to b x2;
+  let one' = Builder.iconst b 1 in
+  Builder.emit b (Instr.Binop { op = Instr.Add; dst = i; src1 = i; src2 = one' });
+  Builder.jump b h1;
+  Builder.switch_to b x1;
+  Builder.ret b (Some i);
+  let fn = Builder.finish b in
+  let loops = Loops.compute fn in
+  check Alcotest.int "outer body depth" 1 (Loops.depth loops b1);
+  check Alcotest.int "inner body depth" 2 (Loops.depth loops b2);
+  check Alcotest.int "inner frequency" 100 (Loops.frequency loops b2)
+
+(* Solver --------------------------------------------------------------- *)
+
+let test_solver_forward_constant () =
+  let fn, _, _, _ = diamond () in
+  let module Count = Solver.Make (struct
+    type t = int
+
+    let bottom = 0
+    let equal = Int.equal
+    let join = max
+  end) in
+  let r =
+    Count.solve ~direction:Solver.Forward
+      ~transfer:(fun _ x -> x + 1)
+      ~entry_fact:0 fn
+  in
+  check Alcotest.int "entry input" 0 (Hashtbl.find r.Count.input fn.Cfg.entry);
+  let join = find_ret_block fn in
+  check Alcotest.int "join input" 2 (Hashtbl.find r.Count.input join.Cfg.label)
+
+let () =
+  Alcotest.run "dataflow"
+    [
+      ( "liveness",
+        [
+          tc "straightline" test_liveness_straightline;
+          tc "loop" test_liveness_loop;
+          tc "diamond" test_liveness_diamond;
+          tc "live across calls" test_live_across_calls;
+          prop_liveness_undefined_free;
+          prop_live_out_is_join_of_succs;
+        ] );
+      ( "reaching",
+        [
+          tc "straightline" test_reaching_straightline;
+          tc "diamond kills" test_reaching_diamond;
+          tc "loop back edge" test_reaching_loop;
+        ] );
+      ( "dominance",
+        [
+          tc "diamond dominators" test_dominance_diamond;
+          tc "diamond frontiers" test_dominance_frontier;
+          tc "loop frontier" test_dominance_loop_frontier;
+          tc "dominator tree partitions" test_dom_children_partition;
+          prop_idom_dominates;
+        ] );
+      ( "loops",
+        [
+          tc "single loop depth" test_loop_depth;
+          tc "nested loop depth" test_nested_loop_depth;
+        ] );
+      ("solver", [ tc "forward path count" test_solver_forward_constant ]);
+    ]

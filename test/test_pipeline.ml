@@ -1,0 +1,141 @@
+(* End-to-end pipeline and experiment-harness tests. *)
+
+open Helpers
+
+let test_prepare_lowers_and_destructs () =
+  let m = Machine.middle_pressure in
+  let p = Pipeline.prepare m (Suite.program "compress") in
+  List.iter
+    (fun fn ->
+      Cfg.iter_instrs fn (fun _ i ->
+          match i.Instr.kind with
+          | Instr.Param _ -> Alcotest.fail "Param survived lowering"
+          | Instr.Phi _ -> Alcotest.fail "Phi survived destruction"
+          | _ -> ()))
+    p.Cfg.funcs
+
+let test_prepare_preserves_semantics () =
+  let m = Machine.middle_pressure in
+  List.iter
+    (fun (name, p) ->
+      let before = Interp.run p in
+      let after = Interp.run (Pipeline.prepare m p) in
+      check Alcotest.bool (name ^ " prepared semantics") true
+        (Interp.equal_value before.Interp.value after.Interp.value))
+    (Suite.all ())
+
+let suite_end_to_end name k =
+  let m = Machine.make ~k () in
+  let p = Pipeline.prepare m (Suite.program name) in
+  let before = Interp.run p in
+  List.iter
+    (fun algo ->
+      let a = Pipeline.allocate_program algo m p in
+      let after = Interp.run ~machine:m a.Pipeline.program in
+      check Alcotest.bool
+        (Printf.sprintf "%s on %s at k=%d" algo.Pipeline.key name k)
+        true
+        (Interp.equal_value before.Interp.value after.Interp.value))
+    Pipeline.algos
+
+let test_jess_end_to_end_16 () = suite_end_to_end "jess" 16
+let test_compress_end_to_end_16 () = suite_end_to_end "compress" 16
+let test_mpegaudio_end_to_end_24 () = suite_end_to_end "mpegaudio" 24
+let test_javac_end_to_end_16 () = suite_end_to_end "javac" 16
+let test_db_end_to_end_32 () = suite_end_to_end "db" 32
+let test_mtrt_end_to_end_24 () = suite_end_to_end "mtrt" 24
+let test_jack_end_to_end_16 () = suite_end_to_end "jack" 16
+
+(* Experiment harness ---------------------------------------------------- *)
+
+let test_fig9_shape () =
+  let f = Experiments.fig9 ~k:16 in
+  check Alcotest.int "k recorded" 16 f.Experiments.k;
+  (* 7 integer rows + 2 fp rows. *)
+  check Alcotest.int "rows" 9 (List.length f.Experiments.moves_ratio);
+  check Alcotest.int "spill rows" 9 (List.length f.Experiments.spills_ratio);
+  List.iter
+    (fun (row : Experiments.fig9_row) ->
+      check Alcotest.int ("series of " ^ row.Experiments.test) 3
+        (List.length row.Experiments.series);
+      (* Move-elimination ratios hover near 1. *)
+      List.iter
+        (fun (label, v) ->
+          match v with
+          | Some x ->
+              check Alcotest.bool
+                (Printf.sprintf "%s/%s ratio sane (%.2f)" row.Experiments.test
+                   label x)
+                true
+                (x > 0.5 && x < 1.5)
+          | None -> ())
+        row.Experiments.series)
+    f.Experiments.moves_ratio
+
+let test_fig10_shape () =
+  let rows = Experiments.fig10 ~k:24 in
+  check Alcotest.int "7 tests" 7 (List.length rows);
+  List.iter
+    (fun (row : Experiments.fig10_row) ->
+      check Alcotest.int "3 algorithms" 3 (List.length row.Experiments.cycles);
+      List.iter
+        (fun (_, c) -> check Alcotest.bool "positive cycles" true (c > 0))
+        row.Experiments.cycles)
+    rows
+
+let test_fig11_full_is_baseline () =
+  let rows = Experiments.fig11 () in
+  check Alcotest.int "7 tests" 7 (List.length rows);
+  List.iter
+    (fun (row : Experiments.fig11_row) ->
+      match List.assoc_opt "full preferences" row.Experiments.relative with
+      | Some v ->
+          check (Alcotest.float 1e-9) ("full = 1.0 on " ^ row.Experiments.test)
+            1.0 v
+      | None -> Alcotest.fail "full preferences series missing")
+    rows
+
+let test_metrics_counts () =
+  let m = Machine.middle_pressure in
+  let p = Pipeline.prepare m (Suite.program "jess") in
+  let before = Metrics.moves p in
+  check Alcotest.bool "program has copies" true (Metrics.total before > 0);
+  let a = Pipeline.allocate_program Pipeline.chaitin_base m p in
+  let elim = Metrics.eliminated_moves ~before:p ~after:a.Pipeline.program in
+  check Alcotest.int "eliminated matches finalize totals"
+    a.Pipeline.moves_eliminated (Metrics.total elim)
+
+let test_cli_figures_run () =
+  (* The printers must render without raising. *)
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.fprintf ppf "%a@." Fig7.print ();
+  check Alcotest.bool "fig7 text" true (Buffer.length buf > 100)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "prepare",
+        [
+          tc "lowering and destruction complete" test_prepare_lowers_and_destructs;
+          tc "semantics preserved" test_prepare_preserves_semantics;
+        ] );
+      ( "end-to-end",
+        [
+          tc "jess k=16" test_jess_end_to_end_16;
+          tc "compress k=16" test_compress_end_to_end_16;
+          tc "mpegaudio k=24" test_mpegaudio_end_to_end_24;
+          tc "javac k=16" test_javac_end_to_end_16;
+          tc "db k=32" test_db_end_to_end_32;
+          tc "mtrt k=24" test_mtrt_end_to_end_24;
+          tc "jack k=16" test_jack_end_to_end_16;
+        ] );
+      ( "experiments",
+        [
+          tc "fig9 shape" test_fig9_shape;
+          tc "fig10 shape" test_fig10_shape;
+          tc "fig11 baseline" test_fig11_full_is_baseline;
+          tc "metrics consistency" test_metrics_counts;
+          tc "fig7 printer" test_cli_figures_run;
+        ] );
+    ]
