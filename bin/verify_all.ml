@@ -1,0 +1,47 @@
+(* Run the static allocation verifier over every allocator on the whole
+   workload suite and print a summary table.  Exits non-zero if any
+   allocation fails verification — wired into `dune runtest` through the
+   @verify alias. *)
+
+(* Register-file size per benchmark, mirroring the end-to-end tests:
+   the FP-heavy programs run at moderate pressure, the rest at high. *)
+let k_of name = if List.mem name Suite.fp_names then 24 else 16
+
+let () =
+  let bad = ref 0 in
+  Format.printf "%-12s %-12s %8s %8s  %s@." "benchmark" "allocator" "errors"
+    "warnings" "status";
+  List.iter
+    (fun name ->
+      let k = if name = "db" then 32 else k_of name in
+      let m = Machine.make ~k () in
+      let p = Pipeline.prepare m (Suite.program name) in
+      List.iter
+        (fun (algo : Pipeline.algo) ->
+          match Pipeline.allocate_program algo m p with
+          | a ->
+              let ds = Pipeline.verify_allocated a in
+              let errors = Diagnostic.errors ds in
+              let warnings =
+                List.length ds - List.length errors
+              in
+              let ok = errors = [] in
+              if not ok then incr bad;
+              Format.printf "%-12s %-12s %8d %8d  %s@." name algo.Pipeline.key
+                (List.length errors) warnings
+                (if ok then "ok" else "FAIL");
+              if not ok then
+                Format.printf "%a" Diagnostic.report errors
+          | exception Alloc_common.Failed msg ->
+              (* The priority-based extension cannot always allocate at
+                 low k; an allocator giving up is not a verifier error. *)
+              Format.printf "%-12s %-12s %8s %8s  %s@." name algo.Pipeline.key
+                "-" "-"
+                ("skipped: " ^ msg))
+        Pipeline.all_algos)
+    Suite.names;
+  if !bad > 0 then begin
+    Format.printf "@.%d allocation(s) failed static verification@." !bad;
+    exit 1
+  end;
+  Format.printf "@.all allocations verified@."

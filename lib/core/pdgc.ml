@@ -28,7 +28,7 @@ let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
     | Full_preferences -> `All
   in
   let f0 = Cfg.clone f0 in
-  let rec round fn ~temps ~n ~spill_instrs =
+  let rec round fn ~temps ~n ~spill_instrs ~spill_slots =
     if n > 64 then raise (Alloc_common.Failed "pdgc: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
@@ -81,7 +81,7 @@ let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
           | None ->
               raise (Alloc_common.Failed ("pdgc: uncolored " ^ Reg.to_string r)))
         (Cfg.all_vregs fn);
-      ( { Alloc_common.func = fn; alloc; rounds = n; spill_instrs },
+      ( { Alloc_common.func = fn; alloc; rounds = n; spill_instrs; spill_slots },
         { select_stats = sel.Pdgc_select.stats; cpg_edges = Cpg.n_edges cpg } )
     end
     else begin
@@ -97,9 +97,10 @@ let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
       in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+        ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let allocate_verbose variant m f =
   allocate_config_verbose (default_config variant) m f

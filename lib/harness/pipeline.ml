@@ -86,13 +86,32 @@ type allocated = {
   rounds_max : int;
 }
 
-let allocate_program algo m (p : Cfg.program) =
+let verify_allocated (a : allocated) =
+  List.concat_map
+    (fun (res, t) -> Verify.result a.machine res ~final:t.Finalize.func)
+    (List.combine a.results a.finals)
+
+let allocate_program ?(verify = false) algo m (p : Cfg.program) =
   let results = List.map (fun f -> algo.allocate m f) p.Cfg.funcs in
   let finals = List.map (Finalize.apply m) results in
   let program = { p with Cfg.funcs = List.map (fun t -> t.Finalize.func) finals } in
   (match Check.machine_program m program with
   | Ok () -> ()
   | Error msg -> raise (Alloc_common.Failed (algo.key ^ ": " ^ msg)));
+  if verify then begin
+    let diags =
+      List.concat_map
+        (fun (res, t) -> Verify.result m res ~final:t.Finalize.func)
+        (List.combine results finals)
+    in
+    match Diagnostic.errors diags with
+    | [] -> ()
+    | errors ->
+        raise
+          (Alloc_common.Failed
+             (Format.asprintf "%s: static verification failed:@.%a" algo.key
+                Diagnostic.report errors))
+  end;
   {
     machine = m;
     program;

@@ -44,8 +44,16 @@ type allocated = {
   rounds_max : int;
 }
 
-val allocate_program : algo -> Machine.t -> Cfg.program -> allocated
-(** @raise Alloc_common.Failed on allocator failure. *)
+val allocate_program : ?verify:bool -> algo -> Machine.t -> Cfg.program -> allocated
+(** With [verify] (default [false]), every allocated function is run
+    through the static verifier ({!Verify.result}) and error-severity
+    diagnostics fail the allocation.
+    @raise Alloc_common.Failed on allocator failure or a verification
+    error. *)
+
+val verify_allocated : allocated -> Diagnostic.t list
+(** Re-run the static verifier over an allocation, returning the raw
+    diagnostics (warnings included) instead of raising. *)
 
 val cycles : allocated -> int
 (** Dynamic cycles of the finalized program (interpreter). *)

@@ -13,6 +13,7 @@ type result = {
   alloc : Reg.t Reg.Tbl.t;
   rounds : int;
   spill_instrs : int;
+  spill_slots : (Reg.t * int) list;
 }
 
 exception Failed of string
@@ -43,7 +44,7 @@ let choose_victim costs g ~no_spill blocked =
 
 let allocate config (m : Machine.t) (f0 : Cfg.func) =
   let f0 = Cfg.clone f0 in
-  let rec round fn ~temps ~n ~spill_instrs =
+  let rec round fn ~temps ~n ~spill_instrs ~spill_slots =
     if n > max_rounds then
       raise (Failed (Printf.sprintf "%s: too many rounds" config.name));
     let webs = Webs.run fn in
@@ -87,6 +88,7 @@ let allocate config (m : Machine.t) (f0 : Cfg.func) =
       in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+        ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     in
     if not (Reg.Set.is_empty simp.Simplify.forced_spills) then
       respill simp.Simplify.forced_spills
@@ -109,10 +111,10 @@ let allocate config (m : Machine.t) (f0 : Cfg.func) =
                      (Printf.sprintf "%s: %s left uncolored" config.name
                         (Reg.to_string r))))
           (Cfg.all_vregs fn);
-        { func = fn; alloc; rounds = n; spill_instrs }
+        { func = fn; alloc; rounds = n; spill_instrs; spill_slots }
       end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let check_complete (m : Machine.t) (res : result) =
   let fn = res.func in

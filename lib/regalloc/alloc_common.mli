@@ -23,6 +23,11 @@ type result = {
   alloc : Reg.t Reg.Tbl.t;  (** every virtual register -> its register *)
   rounds : int;
   spill_instrs : int;  (** spill stores + reloads inserted, static count *)
+  spill_slots : (Reg.t * int) list;
+      (** accumulated [Spill_insert] slot metadata across rounds (webs
+          are named per round, so earlier entries may refer to since-
+          renumbered registers); slots are globally unique within the
+          function — the static verifier audits this *)
 }
 
 exception Failed of string

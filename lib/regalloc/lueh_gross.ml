@@ -53,7 +53,7 @@ let compute_benefits (_m : Machine.t) (fn : Cfg.func) =
 
 let allocate (m : Machine.t) (f0 : Cfg.func) =
   let f0 = Cfg.clone f0 in
-  let rec round fn ~temps ~n ~spill_instrs =
+  let rec round fn ~temps ~n ~spill_instrs ~spill_slots =
     if n > 64 then
       raise (Alloc_common.Failed "aggressive+volatility: too many rounds");
     let webs = Webs.run fn in
@@ -208,6 +208,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+        ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     in
     if not (Reg.Set.is_empty !forced_spills) then respill !forced_spills
     else begin
@@ -278,8 +279,8 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
                   (Alloc_common.Failed
                      ("aggressive+volatility: uncolored " ^ Reg.to_string r)))
           (Cfg.all_vregs fn);
-        { Alloc_common.func = fn; alloc; rounds = n; spill_instrs }
+        { Alloc_common.func = fn; alloc; rounds = n; spill_instrs; spill_slots }
       end
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]

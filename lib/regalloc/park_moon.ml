@@ -8,7 +8,7 @@ type group = { members : Reg.t list; forced : Reg.t option }
 let allocate (m : Machine.t) (f0 : Cfg.func) =
   let f0 = Cfg.clone f0 in
   let k_regs cls = Machine.all m cls in
-  let rec round fn ~temps ~n ~spill_instrs =
+  let rec round fn ~temps ~n ~spill_instrs ~spill_slots =
     if n > 64 then raise (Alloc_common.Failed "optimistic: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
@@ -153,7 +153,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
               raise
                 (Alloc_common.Failed ("optimistic: uncolored " ^ Reg.to_string r)))
         (Cfg.all_vregs fn);
-      { Alloc_common.func = fn; alloc; rounds = n; spill_instrs }
+      { Alloc_common.func = fn; alloc; rounds = n; spill_instrs; spill_slots }
     end
     else begin
       let ins = Spill_insert.insert fn !spilled in
@@ -165,6 +165,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+        ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]

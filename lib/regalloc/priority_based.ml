@@ -2,7 +2,7 @@ let name = "priority-based"
 
 let allocate (m : Machine.t) (f0 : Cfg.func) =
   let f0 = Cfg.clone f0 in
-  let rec round fn ~temps ~n ~spill_instrs =
+  let rec round fn ~temps ~n ~spill_instrs ~spill_slots =
     if n > 64 then
       raise (Alloc_common.Failed "priority-based: too many rounds");
     let webs = Webs.run fn in
@@ -70,7 +70,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
                 (Alloc_common.Failed
                    ("priority-based: uncolored " ^ Reg.to_string r)))
         (Cfg.all_vregs fn);
-      { Alloc_common.func = fn; alloc; rounds = n; spill_instrs }
+      { Alloc_common.func = fn; alloc; rounds = n; spill_instrs; spill_slots }
     end
     else begin
       let ins = Spill_insert.insert fn !spilled in
@@ -82,6 +82,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
+        ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0
+  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]

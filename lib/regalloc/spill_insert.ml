@@ -3,6 +3,7 @@ type result = {
   n_spill_instrs : int;
   n_rematerialized : int;
   temp_watermark : Reg.t;
+  slots : (Reg.t * int) list;
 }
 
 let next_slot (f : Cfg.func) =
@@ -150,4 +151,7 @@ let insert ?(rematerialize = false) (f : Cfg.func) (spilled : Reg.Set.t) =
     n_spill_instrs = !count;
     n_rematerialized = !n_rematerialized;
     temp_watermark;
+    slots =
+      Reg.Tbl.fold (fun r s acc -> (r, s) :: acc) slots []
+      |> List.sort (fun (_, a) (_, b) -> compare (a : int) b);
   }

@@ -15,6 +15,11 @@ type result = {
       (** uses that re-issue the defining constant instead of reloading *)
   temp_watermark : Reg.t;
       (** registers >= watermark were created by this pass *)
+  slots : (Reg.t * int) list;
+      (** frame slot assigned to each spilled register that actually
+          got store/reload traffic (rematerialized registers never
+          touch a slot), in slot order — the metadata the static
+          verifier audits *)
 }
 
 val next_slot : Cfg.func -> int

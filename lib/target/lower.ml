@@ -1,0 +1,96 @@
+(* Per-class argument-slot counters: parameters and call arguments are
+   assigned the next free argument register of their own class, in
+   declaration order. *)
+type counters = { mutable ints : int; mutable floats : int }
+
+let fresh_counters () = { ints = 0; floats = 0 }
+
+let next_slot c = function
+  | Reg.Int_class ->
+      let s = c.ints in
+      c.ints <- s + 1;
+      s
+  | Reg.Float_class ->
+      let s = c.floats in
+      c.floats <- s + 1;
+      s
+
+let take_arg m what c cls =
+  let slot = next_slot c cls in
+  if slot >= m.Machine.n_arg_regs then
+    invalid_arg
+      (Printf.sprintf "Lower.func: %s needs more than %d %s argument registers"
+         what m.Machine.n_arg_regs
+         (match cls with Reg.Int_class -> "integer" | Reg.Float_class -> "float"));
+  Machine.arg_reg m cls slot
+
+let func m (fn : Cfg.func) =
+  let cls_of r =
+    if Reg.is_phys r then Reg.phys_cls r else Cfg.cls_of fn r
+  in
+  (* Parameter index -> argument register, assigned in index order so
+     the convention does not depend on the textual order of [Param]
+     instructions. *)
+  let param_regs = Hashtbl.create 8 in
+  let params =
+    Cfg.fold_instrs fn
+      (fun acc _ i ->
+        match i.Instr.kind with
+        | Instr.Param { dst; index } -> (index, dst) :: acc
+        | _ -> acc)
+      []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  let c = fresh_counters () in
+  List.iter
+    (fun (index, dst) ->
+      if not (Hashtbl.mem param_regs index) then
+        Hashtbl.replace param_regs index
+          (take_arg m ("function " ^ fn.Cfg.name) c (cls_of dst)))
+    params;
+  let lower_call (i : Instr.t) dst callee args =
+    let c = fresh_counters () in
+    let moves, phys_args =
+      List.fold_left
+        (fun (moves, phys) a ->
+          let p = take_arg m ("call to " ^ callee) c (cls_of a) in
+          ( Cfg.instr fn (Instr.Move { dst = p; src = a }) :: moves,
+            p :: phys ))
+        ([], []) args
+    in
+    let moves = List.rev moves and phys_args = List.rev phys_args in
+    match dst with
+    | None ->
+        moves
+        @ [ { i with Instr.kind = Instr.Call { dst = None; callee; args = phys_args } } ]
+    | Some d ->
+        let r = Machine.ret_reg m (cls_of d) in
+        moves
+        @ [
+            { i with Instr.kind = Instr.Call { dst = Some r; callee; args = phys_args } };
+            Cfg.instr fn (Instr.Move { dst = d; src = r });
+          ]
+  in
+  let rewrite (i : Instr.t) =
+    match i.Instr.kind with
+    | Instr.Param { dst; index } ->
+        [ { i with Instr.kind = Instr.Move { dst; src = Hashtbl.find param_regs index } } ]
+    | Instr.Call { dst; callee; args } -> lower_call i dst callee args
+    | Instr.Ret (Some r) ->
+        let ret = Machine.ret_reg m (cls_of r) in
+        if Reg.equal ret r then [ i ]
+        else
+          [
+            Cfg.instr fn (Instr.Move { dst = ret; src = r });
+            { i with Instr.kind = Instr.Ret (Some ret) };
+          ]
+    | _ -> [ i ]
+  in
+  Cfg.with_blocks fn
+    (List.map
+       (fun (b : Cfg.block) ->
+         { b with Cfg.instrs = List.concat_map rewrite b.Cfg.instrs })
+       fn.Cfg.blocks)
+
+let program m (p : Cfg.program) =
+  { p with Cfg.funcs = List.map (func m) p.Cfg.funcs }

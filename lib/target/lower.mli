@@ -1,0 +1,15 @@
+(** Calling-convention lowering.
+
+    Replaces the abstract [Param], [Call] and [Ret] protocol with the
+    machine's concrete registers: parameters become copies out of the
+    per-class argument registers, call arguments are marshalled into
+    them, and return values flow through [Machine.ret_reg].  The copies
+    introduced here are exactly the coalescing / preference fodder the
+    paper's allocator feeds on (§1): a good allocator makes them
+    vanish. *)
+
+val func : Machine.t -> Cfg.func -> Cfg.func
+(** @raise Invalid_argument when a function or call site needs more
+    per-class arguments than the machine has argument registers. *)
+
+val program : Machine.t -> Cfg.program -> Cfg.program

@@ -1,0 +1,68 @@
+type pair_rule = Parity | Consecutive
+
+type t = {
+  name : string;
+  k : int;
+  n_volatile : int;
+  n_arg_regs : int;
+  ret_index : int;
+  limited_size : int;
+  pair_rule : pair_rule;
+}
+
+let make ?name ?n_volatile ?n_arg_regs ?(ret_index = 0) ?limited_size
+    ?(pair_rule = Parity) ~k () =
+  if k < 4 || k > Reg.max_phys || k mod 2 <> 0 then
+    invalid_arg (Printf.sprintf "Machine.make: unsupported k = %d" k);
+  let n_volatile = match n_volatile with Some n -> n | None -> k / 2 in
+  let n_arg_regs = match n_arg_regs with Some n -> n | None -> n_volatile - 1 in
+  let limited_size =
+    match limited_size with Some n -> n | None -> max 2 (k / 4)
+  in
+  let name = match name with Some n -> n | None -> Printf.sprintf "k%d" k in
+  if n_volatile < 1 || n_volatile > k then
+    invalid_arg
+      (Printf.sprintf "Machine.make: unsupported n_volatile = %d" n_volatile);
+  if n_arg_regs < 0 || ret_index + 1 + n_arg_regs > n_volatile then
+    invalid_arg
+      (Printf.sprintf "Machine.make: unsupported n_arg_regs = %d" n_arg_regs);
+  if ret_index < 0 || ret_index >= n_volatile then
+    invalid_arg
+      (Printf.sprintf "Machine.make: unsupported ret_index = %d" ret_index);
+  if limited_size < 1 || limited_size > k then
+    invalid_arg
+      (Printf.sprintf "Machine.make: unsupported limited_size = %d"
+         limited_size);
+  { name; k; n_volatile; n_arg_regs; ret_index; limited_size; pair_rule }
+
+let low_pressure = make ~name:"low-pressure" ~k:32 ()
+let middle_pressure = make ~name:"middle-pressure" ~k:24 ()
+let high_pressure = make ~name:"high-pressure" ~k:16 ()
+let all m cls = List.init m.k (Reg.phys cls)
+let is_allocatable m r = Reg.is_phys r && Reg.phys_index r < m.k
+let is_volatile m r = Reg.is_phys r && Reg.phys_index r < m.n_volatile
+
+let volatiles m cls =
+  Reg.Set.of_list (List.init m.n_volatile (Reg.phys cls))
+
+let nonvolatiles m cls =
+  Reg.Set.of_list
+    (List.init (m.k - m.n_volatile) (fun i -> Reg.phys cls (m.n_volatile + i)))
+
+let in_limited_set m r = Reg.is_phys r && Reg.phys_index r < m.limited_size
+
+let arg_reg m cls i =
+  if i < 0 || i >= m.n_arg_regs then
+    invalid_arg (Printf.sprintf "Machine.arg_reg: no argument register %d" i);
+  Reg.phys cls (m.ret_index + 1 + i)
+
+let ret_reg m cls = Reg.phys cls m.ret_index
+
+let pair_ok m lo hi =
+  Reg.is_phys lo && Reg.is_phys hi
+  && Reg.phys_cls lo = Reg.phys_cls hi
+  && is_allocatable m lo && is_allocatable m hi
+  &&
+  match m.pair_rule with
+  | Parity -> (Reg.phys_index lo + Reg.phys_index hi) land 1 = 1
+  | Consecutive -> Reg.phys_index hi = Reg.phys_index lo + 1

@@ -1,0 +1,73 @@
+(** The machine model of the paper's evaluation (§4).
+
+    A machine is a register file of [k] allocatable registers per class
+    (integer and float files are symmetric), split into a volatile
+    (caller-save) prefix and a non-volatile (callee-save) suffix.  The
+    calling convention passes arguments in the first volatile registers
+    after the return register and returns values in [ret_index].  A
+    small prefix of the file forms the "limited set" some instructions
+    prefer (paper §3.1), and [pair_rule] says which register pairs a
+    paired memory operation may name. *)
+
+type pair_rule =
+  | Parity  (** the two registers must have opposite parity *)
+  | Consecutive  (** the high register must be exactly low + 1 *)
+
+type t = {
+  name : string;
+  k : int;  (** allocatable registers per class *)
+  n_volatile : int;  (** indices [0, n_volatile) are caller-save *)
+  n_arg_regs : int;  (** per-class argument registers *)
+  ret_index : int;  (** index of the return register *)
+  limited_size : int;  (** indices [0, limited_size) form the limited set *)
+  pair_rule : pair_rule;
+}
+
+val make :
+  ?name:string ->
+  ?n_volatile:int ->
+  ?n_arg_regs:int ->
+  ?ret_index:int ->
+  ?limited_size:int ->
+  ?pair_rule:pair_rule ->
+  k:int ->
+  unit ->
+  t
+(** Defaults: half the file volatile, [n_volatile - 1] argument
+    registers, return register 0, limited set of [max 2 (k / 4)],
+    [Parity] pairing.
+    @raise Invalid_argument for an odd, too small or too large [k]. *)
+
+val low_pressure : t
+(** k = 32: the paper's "low pressure" file. *)
+
+val middle_pressure : t
+(** k = 24. *)
+
+val high_pressure : t
+(** k = 16. *)
+
+val all : t -> Reg.cls -> Reg.t list
+(** Every allocatable register of the class, in index order. *)
+
+val is_allocatable : t -> Reg.t -> bool
+(** Physical with index below [k]. *)
+
+val is_volatile : t -> Reg.t -> bool
+(** Physical with index below [n_volatile]: clobbered by calls. *)
+
+val volatiles : t -> Reg.cls -> Reg.Set.t
+val nonvolatiles : t -> Reg.cls -> Reg.Set.t
+
+val in_limited_set : t -> Reg.t -> bool
+(** Physical with index below [limited_size]. *)
+
+val arg_reg : t -> Reg.cls -> int -> Reg.t
+(** The [i]th argument register of the class.
+    @raise Invalid_argument when [i >= n_arg_regs]. *)
+
+val ret_reg : t -> Reg.cls -> Reg.t
+
+val pair_ok : t -> Reg.t -> Reg.t -> bool
+(** May [lo, hi] be named by one paired memory operation?  Both must be
+    allocatable registers of the same class satisfying [pair_rule]. *)

@@ -1,0 +1,57 @@
+let word = 8
+
+(* May the hoisted load move above [i]?  No crossing writes to memory,
+   calls, terminators, or redefinitions of the pair's base. *)
+let blocks_hoisting base (i : Instr.t) =
+  match i.Instr.kind with
+  | Instr.Store _ | Instr.Spill _ | Instr.Call _ -> true
+  | k -> Instr.is_terminator k || List.exists (Reg.equal base) (Instr.defs k)
+
+let touches r (i : Instr.t) =
+  List.exists (Reg.equal r) (Instr.defs i.Instr.kind)
+  || List.exists (Reg.equal r) (Instr.uses i.Instr.kind)
+
+(* Find the partner of [l1] in [rest]: the first load of
+   [l1.base + l1.offset + word] reachable without crossing a blocker,
+   provided nothing skipped over touches its destination.  Returns the
+   partner and [rest] without it. *)
+let hoist (l1 : Instr.t) rest =
+  let base, offset =
+    match l1.Instr.kind with
+    | Instr.Load { base; offset; _ } -> (base, offset)
+    | _ -> assert false
+  in
+  match rest with
+  | { Instr.kind = Instr.Load { base = b2; offset = o2; _ }; _ } :: _
+    when Reg.equal b2 base && o2 = offset + word ->
+      None (* already adjacent *)
+  | _ ->
+      let rec search skipped = function
+        | ({ Instr.kind = Instr.Load { dst; base = b2; offset = o2 }; _ } as l2)
+          :: tail
+          when Reg.equal b2 base
+               && o2 = offset + word
+               && not (List.exists (touches dst) skipped) ->
+            Some (l2, List.rev_append skipped tail)
+        | i :: tail when not (blocks_hoisting base i) ->
+            search (i :: skipped) tail
+        | _ -> None
+      in
+      search [] rest
+
+let rec schedule = function
+  | ({ Instr.kind = Instr.Load _; _ } as l1) :: rest -> (
+      match hoist l1 rest with
+      | Some (l2, rest') -> l1 :: l2 :: schedule rest'
+      | None -> l1 :: schedule rest)
+  | i :: rest -> i :: schedule rest
+  | [] -> []
+
+let func (fn : Cfg.func) =
+  Cfg.with_blocks fn
+    (List.map
+       (fun (b : Cfg.block) -> { b with Cfg.instrs = schedule b.Cfg.instrs })
+       fn.Cfg.blocks)
+
+let program (p : Cfg.program) =
+  { p with Cfg.funcs = List.map func p.Cfg.funcs }

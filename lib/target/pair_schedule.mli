@@ -1,0 +1,14 @@
+(** Local paired-load scheduling.
+
+    Moves the second load of a pairable pair ([base + off] and
+    [base + off + word]) up until the two loads are adjacent, so the
+    finalizer can fuse them into a [Load_pair] when the allocator
+    satisfies the sequential preference.  Purely local and conservative:
+    the hoisted load never crosses a store, call, spill, redefinition of
+    its base, or any instruction touching its destination. *)
+
+val word : int
+(** Word size in bytes; pairs load [off] and [off + word]. *)
+
+val func : Cfg.func -> Cfg.func
+val program : Cfg.program -> Cfg.program

@@ -1,0 +1,58 @@
+type severity = Error | Warning
+
+type reason =
+  | Clobbered_value
+  | Undefined_value
+  | Volatile_across_call
+  | Slot_mismatch
+  | Bad_pair
+  | Bad_callee_save
+  | Bad_calling_convention
+  | Not_allocatable
+  | Limited_miss
+  | Structure
+
+type t = {
+  func : string;
+  block : Instr.label;
+  index : int;
+  instr : int;
+  reg : Reg.t option;
+  severity : severity;
+  reason : reason;
+  message : string;
+}
+
+let v ?(block = -1) ?(index = -1) ?(instr = -1) ?reg ?(severity = Error) ~func
+    reason message =
+  { func; block; index; instr; reg; severity; reason; message }
+
+let reason_label = function
+  | Clobbered_value -> "clobbered-value"
+  | Undefined_value -> "undefined-value"
+  | Volatile_across_call -> "volatile-across-call"
+  | Slot_mismatch -> "slot-mismatch"
+  | Bad_pair -> "bad-pair"
+  | Bad_callee_save -> "bad-callee-save"
+  | Bad_calling_convention -> "bad-calling-convention"
+  | Not_allocatable -> "not-allocatable"
+  | Limited_miss -> "limited-miss"
+  | Structure -> "structure"
+
+let is_error d = d.severity = Error
+let errors ds = List.filter is_error ds
+
+let pp ppf d =
+  Format.fprintf ppf "[%s] %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.func;
+  if d.block >= 0 then Format.fprintf ppf ", block L%d" d.block;
+  if d.index >= 0 then Format.fprintf ppf ", instr %d" d.index;
+  if d.instr >= 0 then Format.fprintf ppf " (id %d)" d.instr;
+  (match d.reg with
+  | Some r -> Format.fprintf ppf ", %s" (Reg.to_string r)
+  | None -> ());
+  Format.fprintf ppf ": %s: %s" (reason_label d.reason) d.message
+
+let report ppf ds =
+  List.iter (fun d -> Format.fprintf ppf "%a@." pp d) ds

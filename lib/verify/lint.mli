@@ -1,0 +1,17 @@
+(** IR well-formedness linter, usable at any pipeline stage.
+
+    Beyond the structural invariants of [Cfg.validate] (reported here as
+    diagnostics instead of a bare string), each phase adds the rules
+    that hold at that point of the pipeline:
+
+    - [Ssa]: every virtual register has a unique definition; [Phi] and
+      [Param] are legal.
+    - [Prepared]: what allocators consume — no [Phi], no [Param], no
+      [Load_pair]; virtual registers allowed.
+    - [Machine m]: finalized code — additionally every register is
+      physical and allocatable in [m]. *)
+
+type phase = Ssa | Prepared | Machine of Machine.t
+
+val func : phase -> Cfg.func -> Diagnostic.t list
+val program : phase -> Cfg.program -> Diagnostic.t list

@@ -1,0 +1,29 @@
+let slot_metadata_diags fname (spill_slots : (Reg.t * int) list) =
+  (* Each spilled web must own a distinct frame slot: two webs sharing
+     a slot silently overwrite each other's spilled values. *)
+  let seen = Hashtbl.create 16 in
+  List.filter_map
+    (fun (web, slot) ->
+      match Hashtbl.find_opt seen slot with
+      | Some other ->
+          Some
+            (Diagnostic.v ~func:fname ~reg:web Diagnostic.Slot_mismatch
+               (Printf.sprintf "webs %s and %s both spill to frame slot %d"
+                  (Reg.to_string other) (Reg.to_string web) slot))
+      | None ->
+          Hashtbl.replace seen slot web;
+          None)
+    spill_slots
+
+let func m ~reference ~alloc ?(spill_slots = []) ~final () =
+  slot_metadata_diags reference.Cfg.name spill_slots
+  @ Refmap.func m ~reference ~alloc ~final
+  @ Audit.func m final
+  @ Lint.func (Lint.Machine m) final
+
+let result m (res : Alloc_common.result) ~final =
+  func m ~reference:res.Alloc_common.func ~alloc:res.Alloc_common.alloc
+    ~spill_slots:res.Alloc_common.spill_slots ~final ()
+
+let ok ds = Diagnostic.errors ds = []
+let report = Diagnostic.report

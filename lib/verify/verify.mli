@@ -1,0 +1,38 @@
+(** Static allocation verification: the public entry points.
+
+    Combines the three layers of the library into one verdict per
+    allocated function:
+
+    + {!Refmap} — dataflow translation validation of the final code
+      against the allocator's pre-finalization body;
+    + {!Audit} — machine-constraint re-checking on the final code
+      (allocatability, pairing, calling convention, slot
+      initialization);
+    + {!Lint} — well-formedness of the final CFG.
+
+    A function passes when no {!Diagnostic.severity} [Error] remains;
+    warnings (eg. missed limited-set preferences) are reported but do
+    not fail verification. *)
+
+val func :
+  Machine.t ->
+  reference:Cfg.func ->
+  alloc:Reg.t Reg.Tbl.t ->
+  ?spill_slots:(Reg.t * int) list ->
+  final:Cfg.func ->
+  unit ->
+  Diagnostic.t list
+(** Verify one function.  [reference] is the allocator's output body
+    (virtual registers, spill code inserted), [alloc] its allocation
+    map, [final] the finalized machine code.  [spill_slots] is the
+    allocator's spill-slot metadata ([Alloc_common.result.spill_slots]);
+    when given, slot assignments are audited for double-booking. *)
+
+val result :
+  Machine.t -> Alloc_common.result -> final:Cfg.func -> Diagnostic.t list
+(** [func] applied to an allocator result and its finalized body. *)
+
+val ok : Diagnostic.t list -> bool
+(** No error-severity diagnostics. *)
+
+val report : Format.formatter -> Diagnostic.t list -> unit

@@ -228,6 +228,7 @@ let test_finalize_callee_saves () =
       alloc = Reg.Tbl.create 0;
       rounds = 1;
       spill_instrs = 0;
+      spill_slots = [];
     }
   in
   let t = Finalize.apply m res in
