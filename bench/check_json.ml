@@ -1,0 +1,204 @@
+(* Minimal JSON validator for the bench trajectory files.
+
+   Usage: check_json.exe FILE
+
+   Parses the file with a small recursive-descent JSON parser (no
+   third-party dependency) and checks the bench schema: a top-level
+   object with a "bechamel" array whose elements carry "name" and
+   "ns_per_run", and a "suite_scale" array.  Exits non-zero — failing
+   the @bench-smoke alias — on a parse or schema error. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= n then fail "bad escape";
+          let e = s.[!pos] in
+          advance ();
+          match e with
+          | '"' | '\\' | '/' ->
+              Buffer.add_char buf e;
+              go ()
+          | 'n' ->
+              Buffer.add_char buf '\n';
+              go ()
+          | 't' ->
+              Buffer.add_char buf '\t';
+              go ()
+          | 'r' ->
+              Buffer.add_char buf '\r';
+              go ()
+          | 'b' | 'f' -> go ()
+          | 'u' ->
+              if !pos + 4 > n then fail "bad \\u escape";
+              pos := !pos + 4;
+              Buffer.add_char buf '?';
+              go ()
+          | _ -> fail "bad escape")
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while (match peek () with Some c when num_char c -> true | _ -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let check_schema = function
+  | Obj fields ->
+      let find k =
+        match List.assoc_opt k fields with
+        | Some v -> v
+        | None -> raise (Bad (Printf.sprintf "missing key %S" k))
+      in
+      (match find "bechamel" with
+      | Arr [] -> raise (Bad "empty bechamel array")
+      | Arr rows ->
+          List.iter
+            (function
+              | Obj r ->
+                  (match List.assoc_opt "name" r with
+                  | Some (Str _) -> ()
+                  | _ -> raise (Bad "bechamel row lacks a name"));
+                  (match List.assoc_opt "ns_per_run" r with
+                  | Some (Num _ | Null) -> ()
+                  | _ -> raise (Bad "bechamel row lacks ns_per_run"))
+              | _ -> raise (Bad "bechamel row is not an object"))
+            rows
+      | _ -> raise (Bad "bechamel is not an array"));
+      (match find "suite_scale" with
+      | Arr _ -> ()
+      | _ -> raise (Bad "suite_scale is not an array"))
+  | _ -> raise (Bad "top level is not an object")
+
+let () =
+  let file =
+    match Sys.argv with
+    | [| _; f |] -> f
+    | _ ->
+        prerr_endline "usage: check_json.exe FILE";
+        exit 2
+  in
+  let ic = open_in_bin file in
+  let len = in_channel_length ic in
+  let content = really_input_string ic len in
+  close_in ic;
+  match check_schema (parse content) with
+  | () -> Printf.printf "%s: valid bench JSON\n" file
+  | exception Bad msg ->
+      Printf.eprintf "%s: invalid bench JSON: %s\n" file msg;
+      exit 1

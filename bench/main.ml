@@ -1,6 +1,6 @@
 (* Benchmark harness.
 
-   Two jobs:
+   Three jobs:
    1. regenerate every figure of the paper's evaluation (the series are
       printed first — that is the reproduction itself);
    2. time the allocators with Bechamel, one benchmark group per figure:
@@ -9,10 +9,18 @@
       - fig9:  the coalescing-quality allocators at k = 16 (what
                Fig. 9 measures);
       - fig10: the three execution-time allocators at k = 24;
-      - fig11: the Fig. 11 allocators at k = 24.
+      - fig11: the Fig. 11 allocators at k = 24;
+   3. time whole allocator runs on larger Workload.Gen programs
+      (2-5k instructions) — the suite-scale wall times that future PRs
+      regress against.
 
-   `main.exe --figures-only` skips the timings; `--bench-only` skips the
-   figure regeneration. *)
+   Flags:
+     --figures-only   regenerate figures, skip all timings;
+     --bench-only     skip the figure regeneration;
+     --json FILE      also write the timing results as JSON (the bench
+                      trajectory; see BENCH_PR2.json);
+     --smoke          tiny Bechamel quota and small generated programs,
+                      for the @bench-smoke CI alias. *)
 
 open Bechamel
 open Toolkit
@@ -57,38 +65,189 @@ let tests () =
   Test.make_grouped ~name:"pdgc" ~fmt:"%s %s"
     ((fig7_test :: fig9) @ fig10 @ fig11)
 
-let run_bechamel () =
+(* Returns (name, ns/run) rows sorted by name. *)
+let run_bechamel ~smoke =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+    if smoke then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.05) ~stabilize:false ()
+    else Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances (tests ()) in
   let results = List.map (fun i -> Analyze.all ols i raw) instances in
   let results = Analyze.merge ols instances results in
-  print_endline "== Bechamel timings (monotonic clock, ns/run) ==";
+  let rows = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
-      let rows =
-        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
-        |> List.sort compare
-      in
-      List.iter
-        (fun (name, ols) ->
+      Hashtbl.iter
+        (fun name ols ->
           match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> Printf.printf "%-44s %14.0f ns/run\n" name est
-          | Some [] | None -> Printf.printf "%-44s (no estimate)\n" name)
-        rows)
-    results
+          | Some (est :: _) -> rows := (name, Some est) :: !rows
+          | Some [] | None -> rows := (name, None) :: !rows)
+        tbl)
+    results;
+  let rows = List.sort compare !rows in
+  print_endline "== Bechamel timings (monotonic clock, ns/run) ==";
+  List.iter
+    (fun (name, est) ->
+      match est with
+      | Some est -> Printf.printf "%-44s %14.0f ns/run\n" name est
+      | None -> Printf.printf "%-44s (no estimate)\n" name)
+    rows;
+  rows
+
+(* --- suite-scale wall times ------------------------------------------- *)
+
+(* Larger generated programs than the figure suite: allocator wall time
+   here is dominated by liveness + igraph construction, i.e. exactly
+   the dense-set layer. *)
+let scale_profile ~name ~seed ~n_funcs ~blocks ~stmts =
+  {
+    Gen.name;
+    seed;
+    n_funcs;
+    blocks = (blocks, blocks + 2);
+    stmts = (stmts, stmts + 4);
+    max_loop_depth = 2;
+    call_density = 0.15;
+    float_ratio = 0.3;
+    paired_ratio = 0.2;
+    limited_ratio = 0.1;
+    pressure = 12;
+  }
+
+let scale_workloads ~smoke =
+  if smoke then [ scale_profile ~name:"gen-smoke" ~seed:11 ~n_funcs:2 ~blocks:3 ~stmts:4 ]
+  else
+    [
+      scale_profile ~name:"gen-mid" ~seed:7 ~n_funcs:6 ~blocks:8 ~stmts:10;
+      scale_profile ~name:"gen-big" ~seed:13 ~n_funcs:8 ~blocks:12 ~stmts:16;
+    ]
+
+let scale_algos =
+  [ Pipeline.chaitin_base; Pipeline.briggs_aggressive; Pipeline.pdgc_full ]
+
+let count_instrs (p : Cfg.program) =
+  List.fold_left
+    (fun acc f -> Cfg.fold_instrs f (fun acc _ _ -> acc + 1) acc)
+    0 p.Cfg.funcs
+
+type scale_row = {
+  workload : string;
+  instrs : int;
+  algo_key : string;
+  k : int;
+  wall_s : float;
+}
+
+let run_suite_scale ~smoke =
+  let k = 24 in
+  let m = Machine.make ~k () in
+  let rows =
+    List.concat_map
+      (fun profile ->
+        let prepared = Pipeline.prepare m (Gen.generate profile) in
+        let instrs = count_instrs prepared in
+        List.map
+          (fun algo ->
+            (* Best of three runs, wall time. *)
+            let best = ref infinity in
+            let reps = if smoke then 1 else 3 in
+            for _ = 1 to reps do
+              let t0 = Unix.gettimeofday () in
+              ignore (Pipeline.allocate_program algo m prepared);
+              let t1 = Unix.gettimeofday () in
+              best := min !best (t1 -. t0)
+            done;
+            {
+              workload = profile.Gen.name;
+              instrs;
+              algo_key = algo.Pipeline.key;
+              k;
+              wall_s = !best;
+            })
+          scale_algos)
+      (scale_workloads ~smoke)
+  in
+  print_endline "== Suite-scale allocator wall times ==";
+  List.iter
+    (fun r ->
+      Printf.printf "%-10s (%5d instrs) %-12s k%-3d %10.4f s\n" r.workload
+        r.instrs r.algo_key r.k r.wall_s)
+    rows;
+  rows
+
+(* --- JSON emission ----------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json file ~smoke ~bechamel ~scale =
+  let oc = open_out file in
+  let out fmt = Printf.fprintf oc fmt in
+  out "{\n";
+  out "  \"schema\": \"pdgc-bench/1\",\n";
+  out "  \"smoke\": %b,\n" smoke;
+  out "  \"bechamel\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      let sep = if i = List.length bechamel - 1 then "" else "," in
+      match est with
+      | Some est ->
+          out "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+            (json_escape name) est sep
+      | None ->
+          out "    {\"name\": \"%s\", \"ns_per_run\": null}%s\n"
+            (json_escape name) sep)
+    bechamel;
+  out "  ],\n";
+  out "  \"suite_scale\": [\n";
+  List.iteri
+    (fun i r ->
+      let sep = if i = List.length scale - 1 then "" else "," in
+      out
+        "    {\"workload\": \"%s\", \"instrs\": %d, \"allocator\": \"%s\", \
+         \"k\": %d, \"wall_s\": %.6f}%s\n"
+        (json_escape r.workload) r.instrs (json_escape r.algo_key) r.k r.wall_s
+        sep)
+    scale;
+  out "  ]\n";
+  out "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec json_file = function
+    | [] -> None
+    | "--json" :: file :: _ -> Some file
+    | _ :: rest -> json_file rest
+  in
+  let json = json_file args in
+  let smoke = List.mem "--smoke" args in
   let figures = not (List.mem "--bench-only" args) in
   let bench = not (List.mem "--figures-only" args) in
   if figures then begin
     Format.printf "%a@." Experiments.print_all ();
     Format.printf "%a@." Ablation.print (Ablation.run ())
   end;
-  if bench then run_bechamel ()
+  if bench then begin
+    let bechamel = run_bechamel ~smoke in
+    let scale = run_suite_scale ~smoke in
+    match json with
+    | Some file -> write_json file ~smoke ~bechamel ~scale
+    | None -> ()
+  end

@@ -61,7 +61,10 @@ let build ~k g (simp : Simplify.result) =
   in
   (* Working interference graph: residual degree + presence, physical
      registers excluded. *)
-  let wig_adj r = Reg.Set.filter Reg.is_virtual (Igraph.adj g r) in
+  let wig_adj r =
+    Igraph.fold_adj g r ~init:Reg.Set.empty ~f:(fun acc n ->
+        if Reg.is_virtual n then Reg.Set.add n acc else acc)
+  in
   let present = Reg.Tbl.create 64 in
   let degree = Reg.Tbl.create 64 in
   let ready = Reg.Tbl.create 64 in

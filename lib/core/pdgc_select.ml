@@ -38,12 +38,10 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
   let color_of r = if Reg.is_phys r then Some r else Reg.Tbl.find_opt colors r in
   let available n =
     let forbidden =
-      Reg.Set.fold
-        (fun nb acc ->
+      Igraph.fold_adj g n ~init:Reg.Set.empty ~f:(fun acc nb ->
           match color_of nb with
           | Some c -> Reg.Set.add c acc
           | None -> acc)
-        (Igraph.adj g n) Reg.Set.empty
     in
     Machine.all m (Igraph.cls g n)
     |> List.filter (fun c -> not (Reg.Set.mem c forbidden))
@@ -155,7 +153,7 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
   (* Assigning or spilling [n] can change the metric of its graph
      neighbors (availability) and of preference-related nodes. *)
   let invalidate_after n =
-    Reg.Set.iter (fun nb -> Reg.Tbl.remove metric_cache nb) (Igraph.adj g n);
+    Igraph.iter_adj g n (fun nb -> Reg.Tbl.remove metric_cache nb);
     List.iter (fun (u, _) -> Reg.Tbl.remove metric_cache u) (Rpg.incoming rpg n);
     List.iter
       (fun (p : Rpg.pref) ->

@@ -3,7 +3,13 @@
     Backward may-analysis: a register is live at a point if some path
     from the point reaches a use before any redefinition.  Phi
     instructions are handled SSA-style: a phi's sources are live out of
-    the corresponding predecessor, not live into the phi's block. *)
+    the corresponding predecessor, not live into the phi's block.
+
+    The fixpoint runs over dense {!Regbits} bitsets (word-parallel
+    unions over a per-function compact numbering); the [Reg.Set]
+    queries below are lazy, memoized views of the dense facts.  Clients
+    on the hot path can work on the bitsets directly through
+    {!compact}, {!live_out_bits} and {!iter_block_backward_bits}. *)
 
 type t
 
@@ -26,3 +32,23 @@ val live_across_calls : Cfg.func -> t -> (Reg.t, int) Hashtbl.t
 (** For every register, the number of call sites it is live across
     (live after the call and not just defined by it).  Registers never
     live across a call are absent. *)
+
+(** {1 Dense access}
+
+    Indices below are those of {!compact}; the numbering covers every
+    register occurring in the analyzed function. *)
+
+val compact : t -> Regbits.compact
+(** The numbering the analysis ran over.  Shared, not copied: clients
+    (e.g. the interference graph) may intern further registers, which
+    leaves the analysis results untouched. *)
+
+val live_in_bits : t -> Instr.label -> Regbits.Set.t
+val live_out_bits : t -> Instr.label -> Regbits.Set.t
+(** Fresh (caller-owned) bitsets of the block-boundary facts. *)
+
+val iter_block_backward_bits :
+  t -> Cfg.block -> f:(live_out:Regbits.Set.t -> Instr.t -> unit) -> unit
+(** Dense equivalent of {!fold_block_backward}.  [live_out] is a
+    scratch bitset mutated between callbacks — read it during the
+    callback, do not retain it. *)

@@ -51,8 +51,11 @@ module Make (F : FACT) = struct
     in
     let pending = Queue.create () in
     let queued = Hashtbl.create 16 in
+    (* Only solve for reachable blocks: an edge from (or to) a block
+       outside the reverse postorder contributes [F.bottom] and never
+       lands on the worklist. *)
     let enqueue l =
-      if not (Hashtbl.mem queued l) then begin
+      if Hashtbl.mem output l && not (Hashtbl.mem queued l) then begin
         Hashtbl.replace queued l ();
         Queue.add l pending
       end
@@ -63,7 +66,10 @@ module Make (F : FACT) = struct
       Hashtbl.remove queued l;
       let incoming =
         List.fold_left
-          (fun acc p -> F.join acc (Hashtbl.find output p))
+          (fun acc p ->
+            match Hashtbl.find_opt output p with
+            | Some fact -> F.join acc fact
+            | None -> acc)
           (if is_boundary l then entry_fact else F.bottom)
           (feeds_from l)
       in

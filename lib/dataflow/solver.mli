@@ -32,5 +32,9 @@ module Make (F : FACT) : sig
     result
   (** [transfer b fact] maps the block-[input] fact to the block-[output]
       fact.  [entry_fact] seeds the entry block (forward) or every exit
-      block (backward); defaults to [F.bottom]. *)
+      block (backward); defaults to [F.bottom].
+
+      Only blocks reachable from the entry are solved; an edge touching
+      an unreachable block contributes [F.bottom] (such blocks have no
+      table entry). *)
 end

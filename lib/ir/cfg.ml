@@ -62,12 +62,50 @@ let block f l =
   | Some b -> b
   | None -> invalid_arg (Printf.sprintf "Cfg.block: no block L%d in %s" l f.name)
 
+let rev_instr_array b =
+  let a = Array.of_list b.instrs in
+  let n = Array.length a in
+  let half = n / 2 in
+  for i = 0 to half - 1 do
+    let tmp = a.(i) in
+    a.(i) <- a.(n - 1 - i);
+    a.(n - 1 - i) <- tmp
+  done;
+  a
+
+(* Blocks are immutable, so a pass that repeatedly walks the same blocks
+   backward (a backward dataflow fixpoint, interference-graph
+   construction over liveness results) can reverse each one once.  The
+   memo is label-keyed but identity-checked: a rewritten block is a
+   fresh record, so handing the cache a new version of a label replaces
+   the stale entry instead of returning it.  The cache's lifetime is the
+   owning pass's — nothing global accumulates. *)
+module Rev_memo = struct
+  type t = (Instr.label, block * Instr.t array) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let get (t : t) b =
+    match Hashtbl.find_opt t b.label with
+    | Some (b', a) when b' == b -> a
+    | _ ->
+        let a = rev_instr_array b in
+        Hashtbl.replace t b.label (b, a);
+        a
+end
+
 let terminator b =
-  match List.rev b.instrs with
-  | t :: _ when Instr.is_terminator t.Instr.kind -> t
-  | _ ->
-      invalid_arg
-        (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
+  let rec last = function
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
+    | [ t ] when Instr.is_terminator t.Instr.kind -> t
+    | [ _ ] ->
+        invalid_arg
+          (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
+    | _ :: tl -> last tl
+  in
+  last b.instrs
 
 let successors b = Instr.successors (terminator b).Instr.kind
 

@@ -54,6 +54,24 @@ val block_opt : func -> Instr.label -> block option
 val successors : block -> Instr.label list
 val terminator : block -> Instr.t
 
+val rev_instr_array : block -> Instr.t array
+(** The block's instructions from last to first, as a fresh array. *)
+
+(** Per-pass memo of reversed instruction arrays.  Backward passes that
+    repeatedly walk the same blocks — the liveness fixpoint,
+    interference-graph construction over its results — create one memo
+    and reverse each block once instead of re-allocating
+    [List.rev instrs] per visit.  Entries are label-keyed but checked
+    against the block's physical identity, so a rewritten block (a
+    fresh record under the same label) replaces the stale entry.
+    Callers must not mutate the returned arrays. *)
+module Rev_memo : sig
+  type t
+
+  val create : unit -> t
+  val get : t -> block -> Instr.t array
+end
+
 val predecessors : func -> (Instr.label, Instr.label list) Hashtbl.t
 (** Map from block label to predecessor labels. *)
 

@@ -139,12 +139,10 @@ let check_complete (m : Machine.t) (res : result) =
   List.iter
     (fun r ->
       let c = lookup r in
-      Reg.Set.iter
-        (fun n ->
+      Igraph.iter_adj g r (fun n ->
           if Reg.equal (lookup n) c then
             raise
               (Failed
                  (Printf.sprintf "%s and %s interfere but share %s"
-                    (Reg.to_string r) (Reg.to_string n) (Reg.to_string c))))
-        (Igraph.adj g r))
+                    (Reg.to_string r) (Reg.to_string n) (Reg.to_string c)))))
     (Igraph.vnodes g)

@@ -22,18 +22,19 @@ let aggressive g =
 
 let briggs_ok ~k g a b =
   let a = Igraph.alias g a and b = Igraph.alias g b in
-  let combined = Reg.Set.union (Igraph.adj g a) (Igraph.adj g b) in
   let significant =
-    Reg.Set.filter (fun n -> Igraph.degree g n >= k) combined
+    let add acc n =
+      if Igraph.degree g n >= k then Reg.Set.add n acc else acc
+    in
+    Igraph.fold_adj g b ~f:add ~init:(Igraph.fold_adj g a ~f:add ~init:Reg.Set.empty)
   in
   Reg.Set.cardinal significant < k
 
 let george_ok ~k g a b =
   let a = Igraph.alias g a and b = Igraph.alias g b in
-  Reg.Set.for_all
-    (fun n ->
-      Igraph.degree g n < k || Reg.is_phys n || Igraph.interferes g n b)
-    (Igraph.adj g a)
+  Igraph.fold_adj g a ~init:true ~f:(fun ok n ->
+      ok
+      && (Igraph.degree g n < k || Reg.is_phys n || Igraph.interferes g n b))
 
 let conservative ~k g =
   let merges = ref 0 in

@@ -10,12 +10,10 @@ let available m g t r =
   let rep = Igraph.alias g r in
   let cls = Igraph.cls g rep in
   let forbidden =
-    Reg.Set.fold
-      (fun n acc ->
+    Igraph.fold_adj g rep ~init:Reg.Set.empty ~f:(fun acc n ->
         match color_of t g n with
         | Some c -> Reg.Set.add c acc
         | None -> acc)
-      (Igraph.adj g rep) Reg.Set.empty
   in
   List.filter (fun c -> not (Reg.Set.mem c forbidden)) (Machine.all m cls)
 

@@ -10,7 +10,14 @@
     The graph supports destructive node merging with an internal alias
     (union-find) map, which is how the merge-based coalescing phases of
     the baseline allocators are expressed.  All queries resolve aliases
-    first. *)
+    first.
+
+    Representation: nodes are dense indices of the liveness compact
+    numbering ({!Regbits.compact}).  Membership ([interferes]) is a
+    bit-matrix test, neighbor iteration walks a per-node adjacency
+    vector, and degrees are cached and updated incrementally by
+    [add_edge] and [merge] — the engineering of production
+    Chaitin/Briggs allocators. *)
 
 type t
 
@@ -30,7 +37,15 @@ val interferes : t -> Reg.t -> Reg.t -> bool
 
 val adj : t -> Reg.t -> Reg.Set.t
 (** Current neighbors of the node's representative (aliases resolved,
-    merged-away nodes absent). *)
+    merged-away nodes absent).  Materializes a fresh set on every call;
+    prefer {!iter_adj} / {!fold_adj} on hot paths. *)
+
+val iter_adj : t -> Reg.t -> (Reg.t -> unit) -> unit
+(** Iterate the representative's neighbors without building a set.
+    The order is unspecified; the graph must not be mutated during the
+    iteration. *)
+
+val fold_adj : t -> Reg.t -> init:'a -> f:('a -> Reg.t -> 'a) -> 'a
 
 val degree : t -> Reg.t -> int
 (** [infinite_degree] for physical registers. *)

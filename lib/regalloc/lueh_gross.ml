@@ -153,11 +153,9 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     let remove r =
       Reg.Tbl.remove present r;
       decr remaining;
-      Reg.Set.iter
-        (fun nb ->
+      Igraph.iter_adj g r (fun nb ->
           if Reg.Tbl.mem present nb then
             Reg.Tbl.replace degree nb (deg nb - 1))
-        (Igraph.adj g r)
     in
     while !remaining > 0 do
       let removable, blocked =
@@ -222,12 +220,10 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       List.iter
         (fun rep ->
           let forbidden =
-            Reg.Set.fold
-              (fun nb acc ->
+            Igraph.fold_adj g rep ~init:Reg.Set.empty ~f:(fun acc nb ->
                 match color_of nb with
                 | Some c -> Reg.Set.add c acc
                 | None -> acc)
-              (Igraph.adj g rep) Reg.Set.empty
           in
           let cls = Igraph.cls g rep in
           let free =

@@ -58,12 +58,10 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       if Reg.is_phys r then Some r else Reg.Tbl.find_opt color r
     in
     let forbidden_of r =
-      Reg.Set.fold
-        (fun nb acc ->
+      Igraph.fold_adj g0 r ~init:Reg.Set.empty ~f:(fun acc nb ->
           match color_of nb with
           | Some c -> Reg.Set.add c acc
           | None -> acc)
-        (Igraph.adj g0 r) Reg.Set.empty
     in
     let spilled = ref Reg.Set.empty in
     (* Groups coalesced into a physical register never reach the select

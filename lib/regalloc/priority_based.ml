@@ -16,18 +16,28 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     let live = Liveness.compute fn in
     let g = Igraph.build fn live in
     let costs = Spill_cost.compute fn in
-    (* Chow-Hennessy priority: savings per unit of range size. *)
+    (* Chow-Hennessy priority: savings per unit of range size.  Spill
+       temporaries must never spill again, so they outrank everything
+       and are colored first.  Ties break on the register id so the
+       coloring order does not depend on graph iteration order. *)
     let priority r =
-      let info = Spill_cost.info costs r in
-      float_of_int info.Spill_cost.spill_cost
-      /. float_of_int (max 1 (info.Spill_cost.n_defs + info.Spill_cost.n_uses))
+      if Reg.Set.mem r temps then infinity
+      else
+        let info = Spill_cost.info costs r in
+        float_of_int info.Spill_cost.spill_cost
+        /. float_of_int (max 1 (info.Spill_cost.n_defs + info.Spill_cost.n_uses))
     in
     let k = m.Machine.k in
     let constrained, unconstrained =
       List.partition (fun r -> Igraph.degree g r >= k) (Igraph.vnodes g)
     in
     let order =
-      List.sort (fun a b -> compare (priority b) (priority a)) constrained
+      List.sort
+        (fun a b ->
+          match compare (priority b) (priority a) with
+          | 0 -> Reg.compare a b
+          | c -> c)
+        constrained
       @ List.sort Reg.compare unconstrained
     in
     let colors = Reg.Tbl.create 64 in
@@ -38,12 +48,10 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     List.iter
       (fun r ->
         let forbidden =
-          Reg.Set.fold
-            (fun nb acc ->
+          Igraph.fold_adj g r ~init:Reg.Set.empty ~f:(fun acc nb ->
               match color_of nb with
               | Some c -> Reg.Set.add c acc
               | None -> acc)
-            (Igraph.adj g r) Reg.Set.empty
         in
         let free =
           List.filter

@@ -25,14 +25,12 @@ let run mode ~k g ~spill_choice ?(never_spill = fun _ -> false) () =
   let remove r =
     Reg.Tbl.remove present r;
     decr remaining;
-    Reg.Set.iter
-      (fun n ->
+    Igraph.iter_adj g r (fun n ->
         if Reg.Tbl.mem present n then begin
           let d = deg n in
           Reg.Tbl.replace degree n (d - 1);
           if d = k then Queue.add n low
         end)
-      (Igraph.adj g r)
   in
   while !remaining > 0 do
     match Queue.take_opt low with

@@ -79,6 +79,134 @@ let random_program seed =
   let rng = Rng.create seed in
   Gen.generate (Gen.random_profile rng)
 
+(* Reference implementations of liveness and interference-graph
+   construction, kept verbatim from the seed's functional Reg.Set code.
+   The dense-bitset production versions are property-tested against
+   these oracles (test_dataflow, test_igraph). *)
+module Ref_live = struct
+  module Fact = struct
+    type t = Reg.Set.t
+
+    let bottom = Reg.Set.empty
+    let equal = Reg.Set.equal
+    let join = Reg.Set.union
+  end
+
+  module S = Solver.Make (Fact)
+
+  type t = {
+    result : S.result;
+    phi_outflow : (Instr.label, Reg.Set.t) Hashtbl.t;
+  }
+
+  let phi_outflow (f : Cfg.func) =
+    let tbl = Hashtbl.create 16 in
+    Cfg.iter_instrs f (fun _ i ->
+        List.iter
+          (fun (pred, r) ->
+            let cur =
+              try Hashtbl.find tbl pred with Not_found -> Reg.Set.empty
+            in
+            Hashtbl.replace tbl pred (Reg.Set.add r cur))
+          (Instr.phi_srcs i.Instr.kind));
+    tbl
+
+  let transfer_instr live i =
+    let kind = i.Instr.kind in
+    let live =
+      List.fold_left (fun s r -> Reg.Set.remove r s) live (Instr.defs kind)
+    in
+    match kind with
+    | Instr.Phi _ -> live
+    | _ -> List.fold_left (fun s r -> Reg.Set.add r s) live (Instr.uses kind)
+
+  let compute (f : Cfg.func) =
+    let outflow = phi_outflow f in
+    let transfer (b : Cfg.block) live_out =
+      let live_out =
+        match Hashtbl.find_opt outflow b.Cfg.label with
+        | Some extra -> Reg.Set.union live_out extra
+        | None -> live_out
+      in
+      List.fold_left transfer_instr live_out (List.rev b.Cfg.instrs)
+    in
+    let result = S.solve ~direction:Solver.Backward ~transfer f in
+    { result; phi_outflow = outflow }
+
+  let live_out t l =
+    let base =
+      try Hashtbl.find t.result.S.input l with Not_found -> Reg.Set.empty
+    in
+    match Hashtbl.find_opt t.phi_outflow l with
+    | Some extra -> Reg.Set.union base extra
+    | None -> base
+
+  let live_in t l =
+    try Hashtbl.find t.result.S.output l with Not_found -> Reg.Set.empty
+
+  let fold_block_backward t (b : Cfg.block) ~init ~f =
+    let live = ref (live_out t b.Cfg.label) in
+    List.fold_left
+      (fun acc i ->
+        let acc = f acc ~live_out:!live i in
+        live := transfer_instr !live i;
+        acc)
+      init (List.rev b.Cfg.instrs)
+end
+
+module Ref_igraph = struct
+  type t = {
+    adj_tbl : Reg.Set.t ref Reg.Tbl.t;
+    mutable move_list : (int * Reg.t * Reg.t) list;
+  }
+
+  let adj_cell t r =
+    match Reg.Tbl.find_opt t.adj_tbl r with
+    | Some c -> c
+    | None ->
+        let c = ref Reg.Set.empty in
+        Reg.Tbl.replace t.adj_tbl r c;
+        c
+
+  let add_edge fn t a b =
+    if (not (Reg.equal a b)) && Cfg.cls_of fn a = Cfg.cls_of fn b then
+      if not (Reg.is_phys a && Reg.is_phys b) then begin
+        let ca = adj_cell t a and cb = adj_cell t b in
+        ca := Reg.Set.add b !ca;
+        cb := Reg.Set.add a !cb
+      end
+
+  let build (fn : Cfg.func) (live : Ref_live.t) =
+    let t = { adj_tbl = Reg.Tbl.create 256; move_list = [] } in
+    List.iter
+      (fun b ->
+        ignore
+          (Ref_live.fold_block_backward live b ~init:()
+             ~f:(fun () ~live_out i ->
+               let kind = i.Instr.kind in
+               List.iter (fun r -> ignore (adj_cell t r)) (Instr.defs kind);
+               List.iter (fun r -> ignore (adj_cell t r)) (Instr.uses kind);
+               (match kind with
+               | Instr.Move { dst; src }
+                 when (not (Reg.equal dst src))
+                      && Cfg.cls_of fn dst = Cfg.cls_of fn src ->
+                   t.move_list <- (i.Instr.id, dst, src) :: t.move_list
+               | _ -> ());
+               let exempt =
+                 match kind with
+                 | Instr.Move { src; _ } -> Some src
+                 | _ -> None
+               in
+               List.iter
+                 (fun d ->
+                   Reg.Set.iter
+                     (fun l -> if exempt <> Some l then add_edge fn t d l)
+                     live_out)
+                 (Instr.defs kind))))
+      fn.Cfg.blocks;
+    t
+end
+
 let prepared_random_program ?(m = Machine.middle_pressure) seed =
   Pipeline.prepare m (random_program seed)
 

@@ -94,6 +94,51 @@ let prop_live_out_is_join_of_succs =
             fn.Cfg.blocks)
         p.Cfg.funcs)
 
+(* Dense liveness must match the seed's functional Reg.Set liveness
+   bit-for-bit: block-boundary facts and the per-instruction live_out
+   sequence of the backward walk. *)
+let liveness_matches_reference (fn : Cfg.func) =
+  let dense = Liveness.compute fn in
+  let oracle = Ref_live.compute fn in
+  List.for_all
+    (fun (b : Cfg.block) ->
+      let l = b.Cfg.label in
+      Reg.Set.equal (Liveness.live_in dense l) (Ref_live.live_in oracle l)
+      && Reg.Set.equal (Liveness.live_out dense l) (Ref_live.live_out oracle l)
+      &&
+      let walk fold =
+        fold ~init:[] ~f:(fun acc ~live_out (_ : Instr.t) -> live_out :: acc)
+      in
+      List.equal Reg.Set.equal
+        (walk (Liveness.fold_block_backward dense b))
+        (walk (Ref_live.fold_block_backward oracle b)))
+    fn.Cfg.blocks
+
+let check_program_liveness name (p : Cfg.program) =
+  List.iter
+    (fun fn ->
+      if not (liveness_matches_reference fn) then
+        Alcotest.failf "dense/reference liveness mismatch in %s/%s" name
+          fn.Cfg.name)
+    p.Cfg.funcs
+
+let test_dense_liveness_suite () =
+  List.iter
+    (fun (name, p) ->
+      check_program_liveness name p;
+      (* The prepared form adds calling-convention physical registers. *)
+      check_program_liveness (name ^ ":prepared")
+        (Pipeline.prepare Machine.middle_pressure p))
+    (Suite.all ())
+
+let prop_dense_liveness_random =
+  qcheck ~count:30 "dense liveness = Reg.Set liveness (random programs)"
+    seed_gen (fun seed ->
+      let raw = random_program seed in
+      let prepared = prepared_random_program seed in
+      List.for_all liveness_matches_reference raw.Cfg.funcs
+      && List.for_all liveness_matches_reference prepared.Cfg.funcs)
+
 (* Reaching definitions ------------------------------------------------- *)
 
 let test_reaching_straightline () =
@@ -279,6 +324,35 @@ let test_solver_forward_constant () =
   let join = find_ret_block fn in
   check Alcotest.int "join input" 2 (Hashtbl.find r.Count.input join.Cfg.label)
 
+(* A function whose [dead] block is unreachable from the entry but
+   branches back into live code: its edge must contribute bottom to the
+   dataflow join instead of raising Not_found (solver regression). *)
+let unreachable_block_func () =
+  let b = Builder.create ~name:"unreach" ~n_params:0 in
+  let x = Builder.iconst b 1 in
+  let dead = Builder.new_block b in
+  let tail = Builder.new_block b in
+  Builder.jump b tail;
+  Builder.switch_to b dead;
+  Builder.jump b tail;
+  Builder.switch_to b tail;
+  Builder.ret b (Some x);
+  (Builder.finish b, x, tail)
+
+let test_solver_unreachable_pred () =
+  let fn, x, tail = unreachable_block_func () in
+  (* Backward analysis: the unreachable predecessor of [tail] must not
+     crash the worklist. *)
+  let live = Liveness.compute fn in
+  check reg_set_testable "x live into tail" (Reg.Set.singleton x)
+    (Liveness.live_in live tail);
+  check reg_set_testable "nothing live at entry" Reg.Set.empty
+    (Liveness.live_in live fn.Cfg.entry);
+  (* Forward analysis over the same shape. *)
+  let reaching = Reaching.compute fn in
+  check Alcotest.bool "x def recorded" true
+    (Reaching.defs_of_reg reaching x <> [])
+
 let () =
   Alcotest.run "dataflow"
     [
@@ -290,6 +364,11 @@ let () =
           tc "live across calls" test_live_across_calls;
           prop_liveness_undefined_free;
           prop_live_out_is_join_of_succs;
+        ] );
+      ( "dense-equivalence",
+        [
+          tc "suite programs" test_dense_liveness_suite;
+          prop_dense_liveness_random;
         ] );
       ( "reaching",
         [
@@ -310,5 +389,9 @@ let () =
           tc "single loop depth" test_loop_depth;
           tc "nested loop depth" test_nested_loop_depth;
         ] );
-      ("solver", [ tc "forward path count" test_solver_forward_constant ]);
+      ( "solver",
+        [
+          tc "forward path count" test_solver_forward_constant;
+          tc "unreachable predecessor" test_solver_unreachable_pred;
+        ] );
     ]

@@ -113,6 +113,60 @@ let test_copy_independent () =
   check reg_testable "original intact" b (Igraph.alias g b);
   ignore a
 
+(* The dense graph (bit-matrix + adjacency vectors + cached degrees)
+   must match the seed's Reg.Set-based construction exactly: same node
+   set, same adjacency, same degrees, same recorded moves. *)
+let igraph_matches_reference (fn : Cfg.func) =
+  let g = build_graph fn in
+  let oracle = Ref_igraph.build fn (Ref_live.compute fn) in
+  let nodes_ok =
+    Reg.Tbl.fold
+      (fun reg cell ok ->
+        ok && Igraph.is_node g reg
+        && Reg.Set.equal !cell (Igraph.adj g reg)
+        && Igraph.degree g reg
+           =
+           if Reg.is_phys reg then Igraph.infinite_degree
+           else Reg.Set.cardinal !cell)
+      oracle.Ref_igraph.adj_tbl true
+  in
+  nodes_ok
+  && List.for_all
+       (fun v -> Reg.Tbl.mem oracle.Ref_igraph.adj_tbl v)
+       (Igraph.vnodes g)
+  &&
+  let mvs = Igraph.moves g and oms = oracle.Ref_igraph.move_list in
+  List.length mvs = List.length oms
+  && List.for_all2
+       (fun mv (id, dst, src) ->
+         mv.Igraph.instr_id = id
+         && Reg.equal mv.Igraph.dst dst
+         && Reg.equal mv.Igraph.src src)
+       mvs oms
+
+let test_dense_igraph_suite () =
+  List.iter
+    (fun (name, p) ->
+      let prepared = Pipeline.prepare Machine.middle_pressure p in
+      List.iter
+        (fun fn ->
+          let webs = Webs.run (Cfg.clone fn) in
+          if not (igraph_matches_reference webs.Webs.func) then
+            Alcotest.failf "dense/reference igraph mismatch in %s/%s" name
+              fn.Cfg.name)
+        prepared.Cfg.funcs)
+    (Suite.all ())
+
+let prop_dense_igraph_random =
+  qcheck ~count:30 "dense igraph = Reg.Set igraph (random programs)" seed_gen
+    (fun seed ->
+      let p = prepared_random_program seed in
+      List.for_all
+        (fun fn ->
+          let webs = Webs.run (Cfg.clone fn) in
+          igraph_matches_reference webs.Webs.func)
+        p.Cfg.funcs)
+
 let prop_symmetric =
   qcheck ~count:30 "interference is symmetric and irreflexive" seed_gen
     (fun seed ->
@@ -206,5 +260,10 @@ let () =
           prop_symmetric;
           prop_edges_within_class;
           prop_simultaneously_live_interfere;
+        ] );
+      ( "dense-equivalence",
+        [
+          tc "suite programs" test_dense_igraph_suite;
+          prop_dense_igraph_random;
         ] );
     ]
