@@ -5,8 +5,10 @@
    Parses the file with a small recursive-descent JSON parser (no
    third-party dependency) and checks the bench schema: a top-level
    object with a "bechamel" array whose elements carry "name" and
-   "ns_per_run", and a "suite_scale" array.  Exits non-zero — failing
-   the @bench-smoke alias — on a parse or schema error. *)
+   "ns_per_run", and a "suite_scale" array whose rows each carry the
+   per-mode wall-time fields ("jobs" >= 1 and "wall_s") introduced by
+   the multicore engine, plus a "cores" count.  Exits non-zero —
+   failing the @bench-smoke alias — on a parse or schema error. *)
 
 type json =
   | Null
@@ -180,8 +182,30 @@ let check_schema = function
               | _ -> raise (Bad "bechamel row is not an object"))
             rows
       | _ -> raise (Bad "bechamel is not an array"));
+      (match find "cores" with
+      | Num c when c >= 1.0 -> ()
+      | _ -> raise (Bad "cores is not a positive number"));
       (match find "suite_scale" with
-      | Arr _ -> ()
+      | Arr rows ->
+          List.iter
+            (function
+              | Obj r ->
+                  let num k =
+                    match List.assoc_opt k r with
+                    | Some (Num f) -> f
+                    | _ ->
+                        raise
+                          (Bad (Printf.sprintf "suite_scale row lacks %S" k))
+                  in
+                  (match List.assoc_opt "allocator" r with
+                  | Some (Str _) -> ()
+                  | _ -> raise (Bad "suite_scale row lacks an allocator"));
+                  if num "jobs" < 1.0 then
+                    raise (Bad "suite_scale row has jobs < 1");
+                  ignore (num "instrs");
+                  ignore (num "wall_s")
+              | _ -> raise (Bad "suite_scale row is not an object"))
+            rows
       | _ -> raise (Bad "suite_scale is not an array"))
   | _ -> raise (Bad "top level is not an object")
 

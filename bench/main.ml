@@ -18,7 +18,14 @@
      --figures-only   regenerate figures, skip all timings;
      --bench-only     skip the figure regeneration;
      --json FILE      also write the timing results as JSON (the bench
-                      trajectory; see BENCH_PR2.json);
+                      trajectory; see BENCH_PR2.json / BENCH_PR3.json);
+     --jobs N         parallel mode for the suite-scale wall times:
+                      every workload x allocator row is measured at
+                      jobs=1 (sequential) and, when N > 1, again at
+                      jobs=N on the multicore engine (identical
+                      output, measured speedup);
+     --algos a,b,c    restrict the suite-scale rows to these registry
+                      keys (unknown keys list the registry and exit 2);
      --smoke          tiny Bechamel quota and small generated programs,
                       for the @bench-smoke CI alias. *)
 
@@ -33,7 +40,8 @@ let alloc_test ~figure ~k algo bench_name =
   let m = Machine.make ~k () in
   let prepared = Pipeline.prepare m (Suite.program bench_name) in
   Test.make
-    ~name:(Printf.sprintf "%s:%s:%s:k%d" figure algo.Pipeline.key bench_name k)
+    ~name:
+      (Printf.sprintf "%s:%s:%s:k%d" figure algo.Allocator.name bench_name k)
     (Staged.stage (fun () ->
          ignore (Pipeline.allocate_program algo m prepared)))
 
@@ -139,10 +147,15 @@ type scale_row = {
   instrs : int;
   algo_key : string;
   k : int;
+  jobs : int;
   wall_s : float;
 }
 
-let run_suite_scale ~smoke =
+(* Every workload x allocator is timed once per jobs mode; the modes
+   share one prepared program, and because the engine merges results
+   in function order the allocations are bit-for-bit identical — only
+   the wall time differs. *)
+let run_suite_scale ~smoke ~jobs_modes ~algos =
   let k = 24 in
   let m = Machine.make ~k () in
   let rows =
@@ -150,33 +163,54 @@ let run_suite_scale ~smoke =
       (fun profile ->
         let prepared = Pipeline.prepare m (Gen.generate profile) in
         let instrs = count_instrs prepared in
-        List.map
+        List.concat_map
           (fun algo ->
-            (* Best of three runs, wall time. *)
-            let best = ref infinity in
-            let reps = if smoke then 1 else 3 in
-            for _ = 1 to reps do
-              let t0 = Unix.gettimeofday () in
-              ignore (Pipeline.allocate_program algo m prepared);
-              let t1 = Unix.gettimeofday () in
-              best := min !best (t1 -. t0)
-            done;
-            {
-              workload = profile.Gen.name;
-              instrs;
-              algo_key = algo.Pipeline.key;
-              k;
-              wall_s = !best;
-            })
-          scale_algos)
+            List.map
+              (fun jobs ->
+                (* Best of three runs, wall time. *)
+                let best = ref infinity in
+                let reps = if smoke then 1 else 3 in
+                for _ = 1 to reps do
+                  let t0 = Unix.gettimeofday () in
+                  ignore (Pipeline.allocate_program ~jobs algo m prepared);
+                  let t1 = Unix.gettimeofday () in
+                  best := min !best (t1 -. t0)
+                done;
+                {
+                  workload = profile.Gen.name;
+                  instrs;
+                  algo_key = algo.Allocator.name;
+                  k;
+                  jobs;
+                  wall_s = !best;
+                })
+              jobs_modes)
+          algos)
       (scale_workloads ~smoke)
   in
   print_endline "== Suite-scale allocator wall times ==";
   List.iter
     (fun r ->
-      Printf.printf "%-10s (%5d instrs) %-12s k%-3d %10.4f s\n" r.workload
-        r.instrs r.algo_key r.k r.wall_s)
+      Printf.printf "%-10s (%5d instrs) %-12s k%-3d jobs=%d %10.4f s\n"
+        r.workload r.instrs r.algo_key r.k r.jobs r.wall_s)
     rows;
+  (* The headline the trajectory tracks: whole-suite sequential vs
+     parallel wall time (sum over workloads and allocators per mode). *)
+  let total jobs =
+    List.fold_left
+      (fun acc r -> if r.jobs = jobs then acc +. r.wall_s else acc)
+      0.0 rows
+  in
+  List.iter
+    (fun jobs ->
+      let t = total jobs in
+      let t1 = total 1 in
+      if jobs = 1 then Printf.printf "whole suite, jobs=1: %10.4f s\n" t
+      else
+        Printf.printf "whole suite, jobs=%d: %10.4f s (%.2fx vs jobs=1)\n" jobs
+          t
+          (if t > 0.0 then t1 /. t else 0.0))
+    jobs_modes;
   rows
 
 (* --- JSON emission ----------------------------------------------------- *)
@@ -199,8 +233,9 @@ let write_json file ~smoke ~bechamel ~scale =
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
   out "{\n";
-  out "  \"schema\": \"pdgc-bench/1\",\n";
+  out "  \"schema\": \"pdgc-bench/2\",\n";
   out "  \"smoke\": %b,\n" smoke;
+  out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"bechamel\": [\n";
   List.iteri
     (fun i (name, est) ->
@@ -220,9 +255,9 @@ let write_json file ~smoke ~bechamel ~scale =
       let sep = if i = List.length scale - 1 then "" else "," in
       out
         "    {\"workload\": \"%s\", \"instrs\": %d, \"allocator\": \"%s\", \
-         \"k\": %d, \"wall_s\": %.6f}%s\n"
-        (json_escape r.workload) r.instrs (json_escape r.algo_key) r.k r.wall_s
-        sep)
+         \"k\": %d, \"jobs\": %d, \"wall_s\": %.6f}%s\n"
+        (json_escape r.workload) r.instrs (json_escape r.algo_key) r.k r.jobs
+        r.wall_s sep)
     scale;
   out "  ]\n";
   out "}\n";
@@ -231,22 +266,47 @@ let write_json file ~smoke ~bechamel ~scale =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec json_file = function
+  let rec opt_value name = function
     | [] -> None
-    | "--json" :: file :: _ -> Some file
-    | _ :: rest -> json_file rest
+    | flag :: value :: _ when flag = name -> Some value
+    | _ :: rest -> opt_value name rest
   in
-  let json = json_file args in
+  let json = opt_value "--json" args in
+  let jobs =
+    match opt_value "--jobs" args with
+    | None -> 4
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> n
+        | Some _ | None ->
+            prerr_endline "bench: --jobs expects a positive integer";
+            exit 2)
+  in
+  let algos =
+    match opt_value "--algos" args with
+    | None -> scale_algos
+    | Some keys ->
+        String.split_on_char ',' keys
+        |> List.map (fun key ->
+               match Allocator.find (String.trim key) with
+               | Some a -> a
+               | None ->
+                   Printf.eprintf
+                     "bench: unknown allocator %S\nvalid names: %s\n" key
+                     (String.concat ", " (Allocator.names ()));
+                   exit 2)
+  in
+  let jobs_modes = if jobs = 1 then [ 1 ] else [ 1; jobs ] in
   let smoke = List.mem "--smoke" args in
   let figures = not (List.mem "--bench-only" args) in
   let bench = not (List.mem "--figures-only" args) in
   if figures then begin
-    Format.printf "%a@." Experiments.print_all ();
-    Format.printf "%a@." Ablation.print (Ablation.run ())
+    Format.printf "%a@." (Experiments.print_all ~jobs) ();
+    Format.printf "%a@." Ablation.print (Ablation.run ~jobs ())
   end;
   if bench then begin
     let bechamel = run_bechamel ~smoke in
-    let scale = run_suite_scale ~smoke in
+    let scale = run_suite_scale ~smoke ~jobs_modes ~algos in
     match json with
     | Some file -> write_json file ~smoke ~bechamel ~scale
     | None -> ()

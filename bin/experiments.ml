@@ -2,11 +2,24 @@
 
    `experiments fig7` / `fig9` / `fig10` / `fig11` / `all` regenerate
    the corresponding figure's series; `experiments alloc NAME` runs one
-   allocator over one benchmark and reports its metrics. *)
+   allocator over one benchmark and reports its metrics.  Every
+   subcommand that allocates takes `--jobs N` to fan per-function
+   allocation out over N engine workers (default: $PDGC_JOBS or 1;
+   results are identical at any N). *)
 
 open Cmdliner
 
 let ppf = Format.std_formatter
+
+(* Allocators are looked up in the registry; an unknown key is a clean
+   diagnostic listing the valid names, not a backtrace. *)
+let resolve_algo key =
+  match Allocator.find key with
+  | Some a -> a
+  | None ->
+      Format.eprintf "experiments: unknown allocator %S@.valid names: %s@." key
+        (String.concat ", " (Allocator.names ()));
+      exit 2
 
 let fig7_cmd =
   let doc = "Reproduce the worked example of Fig. 7." in
@@ -17,34 +30,52 @@ let k_arg ~default =
   let doc = "Number of registers per class (16, 24 or 32)." in
   Arg.(value & opt int default & info [ "k" ] ~docv:"K" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Allocation engine workers (per-function jobs run on $(docv) OCaml \
+     domains; output is identical at any value)."
+  in
+  Arg.(
+    value
+    & opt int (Engine.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let fig9_cmd =
   let doc = "Reproduce Fig. 9: coalescing and spill ratios vs. Chaitin." in
-  let run k = Format.fprintf ppf "%a@." Experiments.print_fig9 (Experiments.fig9 ~k) in
-  Cmd.v (Cmd.info "fig9" ~doc) Term.(const run $ k_arg ~default:16)
+  let run k jobs =
+    Format.fprintf ppf "%a@." Experiments.print_fig9
+      (Experiments.fig9 ~jobs ~k ())
+  in
+  Cmd.v (Cmd.info "fig9" ~doc) Term.(const run $ k_arg ~default:16 $ jobs_arg)
 
 let fig10_cmd =
   let doc = "Reproduce Fig. 10: simulated execution time per pressure model." in
-  let run k =
+  let run k jobs =
     Format.fprintf ppf "%a@."
       (fun ppf -> Experiments.print_fig10 ppf ~k)
-      (Experiments.fig10 ~k)
+      (Experiments.fig10 ~jobs ~k ())
   in
-  Cmd.v (Cmd.info "fig10" ~doc) Term.(const run $ k_arg ~default:24)
+  Cmd.v (Cmd.info "fig10" ~doc) Term.(const run $ k_arg ~default:24 $ jobs_arg)
 
 let fig11_cmd =
   let doc = "Reproduce Fig. 11: relative time of five allocators at k=24." in
-  let run () = Format.fprintf ppf "%a@." Experiments.print_fig11 (Experiments.fig11 ()) in
-  Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ const ())
+  let run jobs =
+    Format.fprintf ppf "%a@." Experiments.print_fig11
+      (Experiments.fig11 ~jobs ())
+  in
+  Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ jobs_arg)
 
 let ablation_cmd =
-  let doc = "Ablation study of the design choices (DESIGN.md section 5)." in
-  let run () = Format.fprintf ppf "%a@." Ablation.print (Ablation.run ()) in
-  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ const ())
+  let doc = "Ablation study of the design choices (DESIGN.md section 6)." in
+  let run jobs =
+    Format.fprintf ppf "%a@." Ablation.print (Ablation.run ~jobs ())
+  in
+  Cmd.v (Cmd.info "ablation" ~doc) Term.(const run $ jobs_arg)
 
 let all_cmd =
   let doc = "Run every experiment (Figs. 7, 9, 10, 11)." in
-  let run () = Format.fprintf ppf "%a@." Experiments.print_all () in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+  let run jobs = Format.fprintf ppf "%a@." (Experiments.print_all ~jobs) () in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ jobs_arg)
 
 let alloc_cmd =
   let doc = "Allocate one benchmark with one algorithm and report metrics." in
@@ -55,33 +86,45 @@ let alloc_cmd =
       & info [] ~docv:"BENCH")
   in
   let algo =
-    let algo_conv =
-      Arg.enum (List.map (fun a -> (a.Pipeline.key, a)) Pipeline.all_algos)
-    in
-    Arg.(
-      value & opt algo_conv Pipeline.pdgc_full & info [ "algo"; "a" ] ~docv:"ALGO")
+    let doc = "Allocator registry key (see `experiments list`)." in
+    Arg.(value & opt string "pdgc" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
   in
-  let run name algo k =
+  let run name algo_key k jobs =
+    let algo = resolve_algo algo_key in
     let m = Machine.make ~k () in
     let prepared = Pipeline.prepare m (Suite.program name) in
     let before = Interp.run prepared in
-    let a = Pipeline.allocate_program algo m prepared in
+    let a = Pipeline.allocate_program ~jobs algo m prepared in
     let after = Interp.run ~machine:m a.Pipeline.program in
     Format.fprintf ppf
-      "%s on %s (k=%d):@.  moves eliminated %d, kept %d@.  spill instructions \
-       %d@.  rounds %d@.  simulated cycles %d (was %d virtual)@.  result \
-       preserved: %b@."
-      algo.Pipeline.label name k a.Pipeline.moves_eliminated
+      "%s on %s (k=%d, jobs=%d):@.  moves eliminated %d, kept %d@.  spill \
+       instructions %d@.  rounds %d@.  simulated cycles %d (was %d virtual)@.  \
+       result preserved: %b@."
+      algo.Allocator.label name k jobs a.Pipeline.moves_eliminated
       a.Pipeline.moves_kept a.Pipeline.spill_instrs a.Pipeline.rounds_max
       after.Interp.stats.Interp.cycles before.Interp.stats.Interp.cycles
       (Interp.equal_value before.Interp.value after.Interp.value)
   in
-  Cmd.v (Cmd.info "alloc" ~doc) Term.(const run $ bench $ algo $ k_arg ~default:24)
+  Cmd.v (Cmd.info "alloc" ~doc)
+    Term.(const run $ bench $ algo $ k_arg ~default:24 $ jobs_arg)
+
+let list_cmd =
+  let doc = "List the registered allocators (registry key and label)." in
+  let run () =
+    List.iter
+      (fun a ->
+        Format.fprintf ppf "%-12s %s@." a.Allocator.name a.Allocator.label)
+      (Allocator.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
 let main =
   let doc = "Preference-directed graph coloring: experiment runner" in
   Cmd.group
     (Cmd.info "experiments" ~doc)
-    [ fig7_cmd; fig9_cmd; fig10_cmd; fig11_cmd; ablation_cmd; all_cmd; alloc_cmd ]
+    [
+      fig7_cmd; fig9_cmd; fig10_cmd; fig11_cmd; ablation_cmd; all_cmd;
+      alloc_cmd; list_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -17,7 +17,7 @@ let () =
       let m = Machine.make ~k () in
       let p = Pipeline.prepare m (Suite.program name) in
       List.iter
-        (fun (algo : Pipeline.algo) ->
+        (fun (algo : Allocator.t) ->
           match Pipeline.allocate_program algo m p with
           | a ->
               let ds = Pipeline.verify_allocated a in
@@ -27,7 +27,7 @@ let () =
               in
               let ok = errors = [] in
               if not ok then incr bad;
-              Format.printf "%-12s %-12s %8d %8d  %s@." name algo.Pipeline.key
+              Format.printf "%-12s %-12s %8d %8d  %s@." name algo.Allocator.name
                 (List.length errors) warnings
                 (if ok then "ok" else "FAIL");
               if not ok then
@@ -35,10 +35,10 @@ let () =
           | exception Alloc_common.Failed msg ->
               (* The priority-based extension cannot always allocate at
                  low k; an allocator giving up is not a verifier error. *)
-              Format.printf "%-12s %-12s %8s %8s  %s@." name algo.Pipeline.key
+              Format.printf "%-12s %-12s %8s %8s  %s@." name algo.Allocator.name
                 "-" "-"
                 ("skipped: " ^ msg))
-        Pipeline.all_algos)
+        (Allocator.all ()))
     Suite.names;
   if !bad > 0 then begin
     Format.printf "@.%d allocation(s) failed static verification@." !bad;

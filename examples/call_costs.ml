@@ -18,7 +18,7 @@ let () =
     let s = r.Interp.stats in
     Format.printf
       "%-22s cycles %8d | frame save/restore ops %6d | calls %5d@."
-      algo.Pipeline.label s.Interp.cycles s.Interp.spill_ops s.Interp.calls
+      algo.Allocator.label s.Interp.cycles s.Interp.spill_ops s.Interp.calls
   in
   Format.printf
     "jess (call-heavy), k = 24, half volatile / half non-volatile:@.@.";

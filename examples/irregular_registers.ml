@@ -25,7 +25,7 @@ let () =
     Format.printf
       "%-22s cycles %9d | fused pairs %5d static / %7d dynamic | limited \
        fixups %6d@."
-      algo.Pipeline.label s.Interp.cycles static_pairs s.Interp.fused_pairs
+      algo.Allocator.label s.Interp.cycles static_pairs s.Interp.fused_pairs
       s.Interp.limited_fixups
   in
   Format.printf "mpegaudio (fp kernels, paired-load rich), k = 24:@.@.";

@@ -107,3 +107,9 @@ let allocate_verbose variant m f =
 
 let allocate variant m f = fst (allocate_verbose variant m f)
 let allocate_config config m f = fst (allocate_config_verbose config m f)
+
+let allocator_coalescing_only =
+  Allocator.v ~name:"pdgc-co" ~label:"only coalescing" (allocate Coalescing_only)
+
+let allocator_full =
+  Allocator.v ~name:"pdgc" ~label:"full preferences" (allocate Full_preferences)

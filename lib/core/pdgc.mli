@@ -43,3 +43,9 @@ val allocate_verbose :
   variant -> Machine.t -> Cfg.func -> Alloc_common.result * extra
 
 val allocate_config : config -> Machine.t -> Cfg.func -> Alloc_common.result
+
+val allocator_coalescing_only : Allocator.t
+(** Registry value ("pdgc-co"): the "only coalescing" series. *)
+
+val allocator_full : Allocator.t
+(** Registry value ("pdgc"): the "full preferences" series. *)

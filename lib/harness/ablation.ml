@@ -15,16 +15,16 @@ let configs =
     ("priority-based", Priority_based.allocate);
   ]
 
-let run () =
+let run ?jobs () =
   let m = Machine.middle_pressure in
   List.map
     (fun name ->
       let prepared = Pipeline.prepare m (Suite.program name) in
       let cycles allocate =
-        let algo =
-          { Pipeline.key = "ablation"; label = "ablation"; allocate }
-        in
-        Pipeline.cycles (Pipeline.allocate_program algo m prepared)
+        (* An unregistered Allocator.t: the ablation points are run
+           directly, never looked up by name. *)
+        let algo = Allocator.v ~name:"ablation" ~label:"ablation" allocate in
+        Pipeline.cycles (Pipeline.allocate_program ?jobs algo m prepared)
       in
       let baseline = cycles (snd (List.hd configs)) in
       {

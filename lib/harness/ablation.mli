@@ -22,5 +22,5 @@ type row = {
 }
 
 val configs : (string * (Machine.t -> Cfg.func -> Alloc_common.result)) list
-val run : unit -> row list
+val run : ?jobs:int -> unit -> row list
 val print : Format.formatter -> row list -> unit

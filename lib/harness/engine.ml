@@ -1,0 +1,59 @@
+let default_jobs () =
+  match Sys.getenv_opt "PDGC_JOBS" with
+  | None -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+
+(* One slot per input item; workers only ever write their own claimed
+   slots, so the arrays need no lock — the queue cursor is the only
+   shared word. *)
+type 'b slot = Empty | Done of 'b | Raised of exn * Printexc.raw_backtrace
+
+let map ?(chunk = 1) ~jobs f xs =
+  let n = List.length xs in
+  if jobs <= 1 || n <= 1 then List.map (fun x -> f ~worker:0 x) xs
+  else begin
+    let items = Array.of_list xs in
+    let jobs = min jobs n in
+    let chunk = max 1 chunk in
+    let out = Array.make n Empty in
+    let lock = Mutex.create () in
+    let next = ref 0 in
+    let claim () =
+      Mutex.lock lock;
+      let lo = !next in
+      next := lo + chunk;
+      Mutex.unlock lock;
+      if lo >= n then None else Some (lo, min n (lo + chunk))
+    in
+    let rec drain worker =
+      match claim () with
+      | None -> ()
+      | Some (lo, hi) ->
+          for i = lo to hi - 1 do
+            out.(i) <-
+              (match f ~worker items.(i) with
+              | v -> Done v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ()))
+          done;
+          drain worker
+    in
+    let pool =
+      Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> drain (i + 1)))
+    in
+    drain 0;
+    Array.iter Domain.join pool;
+    (* Re-raise the first failure in input order — what the sequential
+       path would have raised. *)
+    Array.iter
+      (function
+        | Raised (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Done _ | Empty -> ())
+      out;
+    Array.to_list
+      (Array.map
+         (function Done v -> v | Empty | Raised _ -> assert false)
+         out)
+  end

@@ -1,0 +1,29 @@
+(** The multicore allocation engine: a fixed pool of [Domain.t] workers
+    draining a hand-rolled chunked work queue (stdlib [Domain] /
+    [Mutex] only — no external dependencies).
+
+    [map ~jobs f xs] applies [f] to every element of [xs] and returns
+    the results in the original order, so a parallel run is
+    indistinguishable from [List.map] provided [f] follows the
+    {!Allocator} domain-safety contract (all mutable state confined to
+    one call).  Exceptions raised by [f] are re-raised in input order:
+    the exception the sequential path would have hit first is the one
+    the caller sees.
+
+    With [jobs <= 1] (or fewer than two items) no domain is spawned
+    and the work runs on the calling domain exactly as before the
+    engine existed. *)
+
+val default_jobs : unit -> int
+(** Worker count used when a driver does not say: the [PDGC_JOBS]
+    environment variable if set to a positive integer, else 1
+    (sequential).  [PDGC_JOBS=1] therefore forces the exact sequential
+    path everywhere. *)
+
+val map : ?chunk:int -> jobs:int -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] runs [f ~worker x] for every [x], spreading items
+    over [min jobs (length xs)] workers ([worker] ranges over
+    [0 .. jobs-1]; worker 0 is the calling domain).  [chunk] is how
+    many consecutive items a worker claims per queue access (default
+    1 — allocation jobs are coarse and uneven, so fine-grained
+    claiming balances best; raise it for many cheap items). *)

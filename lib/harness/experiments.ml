@@ -13,26 +13,26 @@ let ratio num den = if den = 0 then None else Some (float_of_int num /. float_of
 
 (* Eliminated-move and spill-code counts per class for one algorithm on
    one prepared program. *)
-let fig9_counts algo m prepared =
-  let a = Pipeline.allocate_program algo m prepared in
+let fig9_counts ?jobs algo m prepared =
+  let a = Pipeline.allocate_program ?jobs algo m prepared in
   let elim =
     Metrics.eliminated_moves ~before:prepared ~after:a.Pipeline.program
   in
   let spills = Metrics.spill_code a.Pipeline.results in
   (elim, spills)
 
-let fig9 ~k =
+let fig9 ?jobs ~k () =
   let m = Machine.make ~k () in
   let moves_rows = ref [] and spill_rows = ref [] in
   List.iter
     (fun name ->
       let prepared = Pipeline.prepare m (Suite.program name) in
       let base_elim, base_spills =
-        fig9_counts Pipeline.chaitin_base m prepared
+        fig9_counts ?jobs Pipeline.chaitin_base m prepared
       in
       let per_algo =
         List.map
-          (fun algo -> (algo.Pipeline.label, fig9_counts algo m prepared))
+          (fun algo -> (algo.Allocator.label, fig9_counts ?jobs algo m prepared))
           fig9_algos
       in
       let add_row rows test proj base =
@@ -69,7 +69,7 @@ type fig10_row = { test : string; cycles : (string * int) list }
 let fig10_algos =
   [ Pipeline.pdgc_coalescing_only; Pipeline.optimistic; Pipeline.pdgc_full ]
 
-let fig10 ~k =
+let fig10 ?jobs ~k () =
   let m = Machine.make ~k () in
   List.map
     (fun name ->
@@ -79,8 +79,8 @@ let fig10 ~k =
         cycles =
           List.map
             (fun algo ->
-              let a = Pipeline.allocate_program algo m prepared in
-              (algo.Pipeline.label, Pipeline.cycles a))
+              let a = Pipeline.allocate_program ?jobs algo m prepared in
+              (algo.Allocator.label, Pipeline.cycles a))
             fig10_algos;
       })
     Suite.names
@@ -96,13 +96,13 @@ let fig11_algos =
     Pipeline.pdgc_full;
   ]
 
-let fig11 () =
+let fig11 ?jobs () =
   let m = Machine.middle_pressure in
   List.map
     (fun name ->
       let prepared = Pipeline.prepare m (Suite.program name) in
       let cycles_of algo =
-        Pipeline.cycles (Pipeline.allocate_program algo m prepared)
+        Pipeline.cycles (Pipeline.allocate_program ?jobs algo m prepared)
       in
       let full = cycles_of Pipeline.pdgc_full in
       {
@@ -111,10 +111,10 @@ let fig11 () =
           List.map
             (fun algo ->
               let c =
-                if algo.Pipeline.key = Pipeline.pdgc_full.Pipeline.key then full
+                if algo.Allocator.name = Pipeline.pdgc_full.Allocator.name then full
                 else cycles_of algo
               in
-              (algo.Pipeline.label, float_of_int c /. float_of_int full))
+              (algo.Allocator.label, float_of_int c /. float_of_int full))
             fig11_algos;
       })
     Suite.names
@@ -222,11 +222,12 @@ let print_fig11 ppf rows =
   | [] -> ());
   Format.fprintf ppf "@]"
 
-let print_all ppf () =
+let print_all ?jobs ppf () =
   Format.fprintf ppf "%a@.@." Fig7.print ();
-  Format.fprintf ppf "%a@." print_fig9 (fig9 ~k:16);
-  Format.fprintf ppf "%a@.@." print_fig9 (fig9 ~k:32);
+  Format.fprintf ppf "%a@." print_fig9 (fig9 ?jobs ~k:16 ());
+  Format.fprintf ppf "%a@.@." print_fig9 (fig9 ?jobs ~k:32 ());
   List.iter
-    (fun k -> Format.fprintf ppf "%a@.@." (fun ppf -> print_fig10 ppf ~k) (fig10 ~k))
+    (fun k ->
+      Format.fprintf ppf "%a@.@." (fun ppf -> print_fig10 ppf ~k) (fig10 ?jobs ~k ()))
     [ 16; 24; 32 ];
-  Format.fprintf ppf "%a@." print_fig11 (fig11 ())
+  Format.fprintf ppf "%a@." print_fig11 (fig11 ?jobs ())

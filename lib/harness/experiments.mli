@@ -18,7 +18,7 @@ type fig9 = {
   spills_ratio : fig9_row list;  (** Fig. 9(b)/(d) *)
 }
 
-val fig9 : k:int -> fig9
+val fig9 : ?jobs:int -> k:int -> unit -> fig9
 (** [k] = 16 reproduces Fig. 9(a,b); [k] = 32 reproduces Fig. 9(c,d). *)
 
 type fig10_row = {
@@ -26,7 +26,7 @@ type fig10_row = {
   cycles : (string * int) list;  (** algorithm label -> simulated cycles *)
 }
 
-val fig10 : k:int -> fig10_row list
+val fig10 : ?jobs:int -> k:int -> unit -> fig10_row list
 (** One of Fig. 10(a)/(b)/(c) for k = 16 / 24 / 32. *)
 
 type fig11_row = {
@@ -35,10 +35,12 @@ type fig11_row = {
       (** algorithm label -> time relative to full preferences *)
 }
 
-val fig11 : unit -> fig11_row list
+val fig11 : ?jobs:int -> unit -> fig11_row list
 (** Fig. 11: five algorithms at the middle-pressure model (k = 24). *)
 
 val print_fig9 : Format.formatter -> fig9 -> unit
 val print_fig10 : Format.formatter -> k:int -> fig10_row list -> unit
 val print_fig11 : Format.formatter -> fig11_row list -> unit
-val print_all : Format.formatter -> unit -> unit
+val print_all : ?jobs:int -> Format.formatter -> unit -> unit
+(** Every figure; [jobs] sizes the {!Engine} worker pool for each
+    underlying allocation (default: sequential / [PDGC_JOBS]). *)

@@ -1,52 +1,16 @@
-type algo = {
-  key : string;
-  label : string;
-  allocate : Machine.t -> Cfg.func -> Alloc_common.result;
-}
+(* The built-in allocators, as registry values.  Registering here (and
+   not in each allocator module) keeps the registration order — which
+   [Allocator.all] exposes and the figure tables follow — the paper's
+   series order, independent of library link order. *)
 
-let chaitin_base =
-  { key = "chaitin"; label = "chaitin+aggressive"; allocate = Chaitin.allocate }
-
-let briggs_aggressive =
-  {
-    key = "briggs";
-    label = "Briggs +aggressive";
-    allocate = Briggs.allocate_aggressive;
-  }
-
-let optimistic =
-  { key = "optimistic"; label = "optimistic"; allocate = Park_moon.allocate }
-
-let iterated =
-  { key = "iterated"; label = "iterated"; allocate = Iterated.allocate }
-
-let pdgc_coalescing_only =
-  {
-    key = "pdgc-co";
-    label = "only coalescing";
-    allocate = Pdgc.allocate Pdgc.Coalescing_only;
-  }
-
-let pdgc_full =
-  {
-    key = "pdgc";
-    label = "full preferences";
-    allocate = Pdgc.allocate Pdgc.Full_preferences;
-  }
-
-let aggressive_volatility =
-  {
-    key = "lueh-gross";
-    label = "aggressive+volatility";
-    allocate = Lueh_gross.allocate;
-  }
-
-let priority_based =
-  {
-    key = "priority";
-    label = "priority-based";
-    allocate = Priority_based.allocate;
-  }
+let chaitin_base = Chaitin.allocator
+let briggs_aggressive = Briggs.allocator
+let optimistic = Park_moon.allocator
+let iterated = Iterated.allocator
+let pdgc_coalescing_only = Pdgc.allocator_coalescing_only
+let pdgc_full = Pdgc.allocator_full
+let aggressive_volatility = Lueh_gross.allocator
+let priority_based = Priority_based.allocator
 
 let algos =
   [
@@ -63,11 +27,7 @@ let algos =
    splitting, so it is exercised only at moderate pressure (ablation,
    CLI) rather than in the generic low-k stress tests. *)
 let all_algos = algos @ [ priority_based ]
-
-let find_algo key =
-  match List.find_opt (fun a -> a.key = key) all_algos with
-  | Some a -> a
-  | None -> invalid_arg ("Pipeline.find_algo: unknown algorithm " ^ key)
+let () = List.iter Allocator.register all_algos
 
 let prepare m (p : Cfg.program) =
   let funcs =
@@ -91,13 +51,29 @@ let verify_allocated (a : allocated) =
     (fun (res, t) -> Verify.result a.machine res ~final:t.Finalize.func)
     (List.combine a.results a.finals)
 
-let allocate_program ?(verify = false) algo m (p : Cfg.program) =
-  let results = List.map (fun f -> algo.allocate m f) p.Cfg.funcs in
-  let finals = List.map (Finalize.apply m) results in
+let allocate_program ?(verify = false) ?jobs (algo : Allocator.t) m
+    (p : Cfg.program) =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> Engine.default_jobs ()
+  in
+  (* One job per function: allocate and finalize, all scratch state
+     owned by the job (the Allocator domain-safety contract).  Results
+     come back in original function order, so the parallel path is
+     bit-for-bit the sequential one. *)
+  let pairs =
+    Engine.map ~jobs
+      (fun ~worker f ->
+        let ctx = { Allocator.worker; jobs } in
+        let res = algo.Allocator.run ctx m f in
+        (res, Finalize.apply m res))
+      p.Cfg.funcs
+  in
+  let results = List.map fst pairs in
+  let finals = List.map snd pairs in
   let program = { p with Cfg.funcs = List.map (fun t -> t.Finalize.func) finals } in
   (match Check.machine_program m program with
   | Ok () -> ()
-  | Error msg -> raise (Alloc_common.Failed (algo.key ^ ": " ^ msg)));
+  | Error msg -> raise (Alloc_common.Failed (algo.Allocator.name ^ ": " ^ msg)));
   if verify then begin
     let diags =
       List.concat_map
@@ -109,8 +85,8 @@ let allocate_program ?(verify = false) algo m (p : Cfg.program) =
     | errors ->
         raise
           (Alloc_common.Failed
-             (Format.asprintf "%s: static verification failed:@.%a" algo.key
-                Diagnostic.report errors))
+             (Format.asprintf "%s: static verification failed:@.%a"
+                algo.Allocator.name Diagnostic.report errors))
   end;
   {
     machine = m;

@@ -4,32 +4,30 @@
     allocator consumes: SSA construction and destruction (leaving the
     copy-heavy, phi-lowered code of §1), calling-convention lowering
     against a machine, and local paired-load scheduling (adjacent
-    candidates are what the RPG's sequential± preferences describe).  [allocate_program] then runs one
-    allocator over every function and finalizes the result into
-    executable machine code. *)
+    candidates are what the RPG's sequential± preferences describe).
+    [allocate_program] then runs one allocator over every function —
+    fanning the per-function jobs out over {!Engine} workers when
+    [jobs > 1] — and finalizes the result into executable machine code.
 
-type algo = {
-  key : string;  (** short id used on the command line *)
-  label : string;  (** the series name used in the paper's figures *)
-  allocate : Machine.t -> Cfg.func -> Alloc_common.result;
-}
+    Loading this module registers the built-in eight allocators in the
+    {!Allocator} registry; look them up with [Allocator.find] or use
+    the values below directly. *)
 
-val chaitin_base : algo
-val briggs_aggressive : algo
-val optimistic : algo
-val iterated : algo
-val pdgc_coalescing_only : algo
-val pdgc_full : algo
-val aggressive_volatility : algo
-val priority_based : algo
+val chaitin_base : Allocator.t
+val briggs_aggressive : Allocator.t
+val optimistic : Allocator.t
+val iterated : Allocator.t
+val pdgc_coalescing_only : Allocator.t
+val pdgc_full : Allocator.t
+val aggressive_volatility : Allocator.t
+val priority_based : Allocator.t
 
-val algos : algo list
+val algos : Allocator.t list
 (** The seven allocators of the paper's evaluation. *)
 
-val all_algos : algo list
-(** [algos] plus the priority-based extension. *)
-
-val find_algo : string -> algo
+val all_algos : Allocator.t list
+(** [algos] plus the priority-based extension — exactly the registry
+    contents, in registration order. *)
 
 val prepare : Machine.t -> Cfg.program -> Cfg.program
 
@@ -44,10 +42,14 @@ type allocated = {
   rounds_max : int;
 }
 
-val allocate_program : ?verify:bool -> algo -> Machine.t -> Cfg.program -> allocated
+val allocate_program :
+  ?verify:bool -> ?jobs:int -> Allocator.t -> Machine.t -> Cfg.program -> allocated
 (** With [verify] (default [false]), every allocated function is run
     through the static verifier ({!Verify.result}) and error-severity
-    diagnostics fail the allocation.
+    diagnostics fail the allocation.  [jobs] (default
+    [Engine.default_jobs ()], i.e. [PDGC_JOBS] or 1) sets the worker
+    pool size; results are merged back in function order, so any
+    [jobs] value produces bit-for-bit the sequential output.
     @raise Alloc_common.Failed on allocator failure or a verification
     error. *)
 

@@ -8,6 +8,10 @@ type config = {
   order : Color_select.order;
 }
 
+let config ~name ?(coalesce = Aggressive) ?(mode = Simplify.Optimistic)
+    ?(biased = false) ?(order = Color_select.Nonvolatile_first) () =
+  { name; coalesce; mode; biased; order }
+
 type result = {
   func : Cfg.func;
   alloc : Reg.t Reg.Tbl.t;

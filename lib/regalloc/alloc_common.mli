@@ -17,6 +17,19 @@ type config = {
   order : Color_select.order;
 }
 
+val config :
+  name:string ->
+  ?coalesce:coalesce_kind ->
+  ?mode:Simplify.mode ->
+  ?biased:bool ->
+  ?order:Color_select.order ->
+  unit ->
+  config
+(** Labeled constructor with the Briggs-style defaults ([Aggressive]
+    coalescing, [Optimistic] simplification, unbiased,
+    non-volatile-first).  Call sites built on it keep compiling when
+    [config] grows a field, so prefer it to a record literal. *)
+
 type result = {
   func : Cfg.func;
       (** final body: web-renamed, spill code inserted, still virtual *)

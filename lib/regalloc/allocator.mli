@@ -1,0 +1,65 @@
+(** The unified allocator API and registry.
+
+    Every register allocator in the system is a first-class
+    {!t} value: a CLI/registry name, the series label used in the
+    paper's figures, and a [run] function.  The registry maps names to
+    allocators so that the pipeline, the experiment harness, the bench
+    driver and the CLI tools all share one lookup path instead of
+    per-module entry points.
+
+    {2 Domain-safety contract}
+
+    [run] is called concurrently from several OCaml domains by the
+    parallel allocation engine, one call per function job.  An
+    implementation must therefore confine every piece of mutable state
+    — interference-graph scratch, dense-bitset numberings,
+    [Cfg.Rev_memo] caches, any [Hashtbl]/[ref] memo — to the dynamic
+    extent of a single [run] call (or key it off [ctx.worker] if it
+    wants to reuse buffers across the jobs of one worker).  No mutable
+    state may be shared across jobs, and [run] must not mutate the
+    input function (clone it first, as every in-tree allocator does).
+    Allocators that follow this rule are deterministic under any job
+    schedule: the engine asserts parallel ≡ sequential bit-for-bit. *)
+
+type ctx = {
+  worker : int;  (** worker index running this job; 0 on the sequential path *)
+  jobs : int;  (** size of the worker pool the job belongs to (>= 1) *)
+}
+
+val sequential_ctx : ctx
+(** The context used outside the parallel engine: worker 0 of a
+    one-worker pool. *)
+
+type t = {
+  name : string;  (** registry key, used on the command line *)
+  label : string;  (** series name used in the paper's figures *)
+  run : ctx -> Machine.t -> Cfg.func -> Alloc_common.result;
+}
+
+val v :
+  name:string ->
+  label:string ->
+  (Machine.t -> Cfg.func -> Alloc_common.result) ->
+  t
+(** [v ~name ~label allocate] wraps a context-oblivious allocation
+    function (the common case: all state created inside the call). *)
+
+val exec : ?ctx:ctx -> t -> Machine.t -> Cfg.func -> Alloc_common.result
+(** [exec a m f] runs [a] on one function, defaulting to
+    {!sequential_ctx}. *)
+
+val register : t -> unit
+(** Add an allocator to the registry.
+    @raise Invalid_argument if the name is already registered. *)
+
+val find : string -> t option
+(** Total lookup by name; [None] for unknown keys (callers decide how
+    to report — CLI drivers list {!names} and exit 2). *)
+
+val all : unit -> t list
+(** Every registered allocator, in registration order (the pipeline
+    registers the paper's seven series first, then the priority-based
+    extension). *)
+
+val names : unit -> string list
+(** Registry keys in registration order. *)

@@ -1,20 +1,11 @@
-let aggressive =
-  {
-    Alloc_common.name = "briggs+aggressive";
-    coalesce = Alloc_common.Aggressive;
-    mode = Simplify.Optimistic;
-    biased = false;
-    order = Color_select.Nonvolatile_first;
-  }
+let aggressive = Alloc_common.config ~name:"briggs+aggressive" ()
 
 let conservative =
-  {
-    Alloc_common.name = "briggs+conservative";
-    coalesce = Alloc_common.Conservative;
-    mode = Simplify.Optimistic;
-    biased = true;
-    order = Color_select.Nonvolatile_first;
-  }
+  Alloc_common.config ~name:"briggs+conservative"
+    ~coalesce:Alloc_common.Conservative ~biased:true ()
 
 let allocate_aggressive m f = Alloc_common.allocate aggressive m f
 let allocate_conservative m f = Alloc_common.allocate conservative m f
+
+let allocator =
+  Allocator.v ~name:"briggs" ~label:"Briggs +aggressive" allocate_aggressive

@@ -11,3 +11,7 @@ val aggressive : Alloc_common.config
 val conservative : Alloc_common.config
 val allocate_aggressive : Machine.t -> Cfg.func -> Alloc_common.result
 val allocate_conservative : Machine.t -> Cfg.func -> Alloc_common.result
+
+val allocator : Allocator.t
+(** Registry value ("briggs"): the aggressive configuration the
+    paper's figures measure. *)

@@ -1,10 +1,5 @@
 let config =
-  {
-    Alloc_common.name = "chaitin+aggressive";
-    coalesce = Alloc_common.Aggressive;
-    mode = Simplify.Chaitin;
-    biased = false;
-    order = Color_select.Nonvolatile_first;
-  }
+  Alloc_common.config ~name:"chaitin+aggressive" ~mode:Simplify.Chaitin ()
 
 let allocate m f = Alloc_common.allocate config m f
+let allocator = Allocator.v ~name:"chaitin" ~label:"chaitin+aggressive" allocate

@@ -3,3 +3,6 @@
 
 val config : Alloc_common.config
 val allocate : Machine.t -> Cfg.func -> Alloc_common.result
+
+val allocator : Allocator.t
+(** Registry value ("chaitin"). *)

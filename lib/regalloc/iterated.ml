@@ -465,3 +465,5 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     end
   in
   round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+
+let allocator = Allocator.v ~name:"iterated" ~label:"iterated" allocate

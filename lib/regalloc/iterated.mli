@@ -12,3 +12,6 @@
 
 val name : string
 val allocate : Machine.t -> Cfg.func -> Alloc_common.result
+
+val allocator : Allocator.t
+(** Registry value for this allocator. *)

@@ -24,3 +24,6 @@ type benefits = {
 
 val compute_benefits : Machine.t -> Cfg.func -> benefits Reg.Tbl.t
 (** Exposed for tests and for the harness's diagnostics. *)
+
+val allocator : Allocator.t
+(** Registry value for this allocator. *)

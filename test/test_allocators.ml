@@ -12,7 +12,7 @@ let test_valid_on_fig7 () =
   let fn, _ = Fig7.build () in
   List.iter
     (fun algo ->
-      let res = algo.Pipeline.allocate m (Cfg.clone fn) in
+      let res = Allocator.exec algo m (Cfg.clone fn) in
       assert_valid_allocation m res)
     all_algos
 
@@ -30,7 +30,7 @@ let test_spill_counts_ordering () =
     (fun algo ->
       let s = spills algo in
       check Alcotest.bool
-        (Printf.sprintf "%s spills (%d) <= chaitin (%d)" algo.Pipeline.key s
+        (Printf.sprintf "%s spills (%d) <= chaitin (%d)" algo.Allocator.name s
            base)
         true (s <= base))
     [ Pipeline.briggs_aggressive; Pipeline.optimistic; Pipeline.iterated;
@@ -46,36 +46,36 @@ let test_coalescers_eliminate_most_moves () =
       let ratio = float_of_int a.Pipeline.moves_eliminated /. float_of_int total in
       check Alcotest.bool
         (Printf.sprintf "%s eliminates > 50%% of moves (%.2f)"
-           algo.Pipeline.key ratio)
+           algo.Allocator.name ratio)
         true (ratio > 0.5))
     all_algos
 
 let per_algo_semantic_prop algo =
   qcheck ~count:20
-    (Printf.sprintf "%s preserves semantics" algo.Pipeline.key)
+    (Printf.sprintf "%s preserves semantics" algo.Allocator.name)
     seed_gen
     (fun seed ->
-      assert_semantics_preserved algo.Pipeline.key algo seed;
+      assert_semantics_preserved algo.Allocator.name algo seed;
       true)
 
 let per_algo_validity_prop algo =
   qcheck ~count:20
     (Printf.sprintf "%s produces interference-free assignments"
-       algo.Pipeline.key)
+       algo.Allocator.name)
     seed_gen
     (fun seed ->
       let m = Machine.make ~k:12 () in
       let p = prepared_random_program ~m seed in
       List.for_all
         (fun fn ->
-          let res = algo.Pipeline.allocate m fn in
+          let res = Allocator.exec algo m fn in
           assert_valid_allocation m res;
           true)
         p.Cfg.funcs)
 
 let prop_determinism algo =
   qcheck ~count:8
-    (Printf.sprintf "%s is deterministic" algo.Pipeline.key)
+    (Printf.sprintf "%s is deterministic" algo.Allocator.name)
     seed_gen
     (fun seed ->
       let m = Machine.middle_pressure in
@@ -99,15 +99,16 @@ let test_low_k_stress () =
     (fun algo ->
       let a = Pipeline.allocate_program algo m p in
       let after = Interp.run ~machine:m a.Pipeline.program in
-      check Alcotest.bool (algo.Pipeline.key ^ " semantics at k=8") true
+      check Alcotest.bool (algo.Allocator.name ^ " semantics at k=8") true
         (Interp.equal_value before.Interp.value after.Interp.value))
     all_algos
 
 let test_find_algo () =
-  check Alcotest.string "lookup" "pdgc" (Pipeline.find_algo "pdgc").Pipeline.key;
-  Alcotest.check_raises "unknown"
-    (Invalid_argument "Pipeline.find_algo: unknown algorithm nope") (fun () ->
-      ignore (Pipeline.find_algo "nope"))
+  (match Allocator.find "pdgc" with
+  | Some a -> check Alcotest.string "lookup" "pdgc" a.Allocator.name
+  | None -> Alcotest.fail "pdgc not registered");
+  check Alcotest.bool "unknown key is a clean None" true
+    (Allocator.find "nope" = None)
 
 let () =
   Alcotest.run "allocators"

@@ -149,9 +149,9 @@ let test_allocated_recursion () =
     (fun algo ->
       let a = Pipeline.allocate_program algo m prepared in
       let after = Interp.run ~machine:m a.Pipeline.program in
-      check Alcotest.bool (algo.Pipeline.key ^ " fib(12) = 144") true
+      check Alcotest.bool (algo.Allocator.name ^ " fib(12) = 144") true
         (Interp.equal_value after.Interp.value (Some (Interp.Int 144)));
-      check Alcotest.bool (algo.Pipeline.key ^ " matches virtual") true
+      check Alcotest.bool (algo.Allocator.name ^ " matches virtual") true
         (Interp.equal_value before.Interp.value after.Interp.value))
     Pipeline.algos
 

@@ -33,7 +33,7 @@ let suite_end_to_end name k =
       let a = Pipeline.allocate_program algo m p in
       let after = Interp.run ~machine:m a.Pipeline.program in
       check Alcotest.bool
-        (Printf.sprintf "%s on %s at k=%d" algo.Pipeline.key name k)
+        (Printf.sprintf "%s on %s at k=%d" algo.Allocator.name name k)
         true
         (Interp.equal_value before.Interp.value after.Interp.value))
     Pipeline.algos
@@ -49,7 +49,7 @@ let test_jack_end_to_end_16 () = suite_end_to_end "jack" 16
 (* Experiment harness ---------------------------------------------------- *)
 
 let test_fig9_shape () =
-  let f = Experiments.fig9 ~k:16 in
+  let f = Experiments.fig9 ~k:16 () in
   check Alcotest.int "k recorded" 16 f.Experiments.k;
   (* 7 integer rows + 2 fp rows. *)
   check Alcotest.int "rows" 9 (List.length f.Experiments.moves_ratio);
@@ -73,7 +73,7 @@ let test_fig9_shape () =
     f.Experiments.moves_ratio
 
 let test_fig10_shape () =
-  let rows = Experiments.fig10 ~k:24 in
+  let rows = Experiments.fig10 ~k:24 () in
   check Alcotest.int "7 tests" 7 (List.length rows);
   List.iter
     (fun (row : Experiments.fig10_row) ->

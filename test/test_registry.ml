@@ -1,0 +1,67 @@
+(* Allocator registry: round-trip lookup, registration order, duplicate
+   rejection, and clean unknown-key behaviour. *)
+
+open Helpers
+
+(* Registration happens at Pipeline module init; referencing the module
+   guarantees it ran before any registry query. *)
+let () = ignore Pipeline.algos
+
+let expected_names =
+  [
+    "chaitin"; "briggs"; "optimistic"; "iterated"; "pdgc-co"; "pdgc";
+    "lueh-gross"; "priority";
+  ]
+
+let test_names_in_paper_order () =
+  check
+    Alcotest.(list string)
+    "registry lists the eight built-ins in paper order" expected_names
+    (Allocator.names ())
+
+let test_round_trip () =
+  List.iter
+    (fun a ->
+      match Allocator.find a.Allocator.name with
+      | Some b ->
+          check Alcotest.string
+            ("find " ^ a.Allocator.name ^ " resolves to itself")
+            a.Allocator.name b.Allocator.name;
+          check Alcotest.string "label survives the round trip"
+            a.Allocator.label b.Allocator.label
+      | None -> Alcotest.fail (a.Allocator.name ^ " does not resolve"))
+    (Allocator.all ())
+
+let test_duplicate_rejected () =
+  match Allocator.register Pipeline.chaitin_base with
+  | () -> Alcotest.fail "duplicate registration was accepted"
+  | exception Invalid_argument _ ->
+      (* The failed attempt must not have corrupted the registry. *)
+      check
+        Alcotest.(list string)
+        "registry unchanged after rejected duplicate" expected_names
+        (Allocator.names ())
+
+let test_unknown_is_none () =
+  check Alcotest.bool "unknown key is a clean None" true
+    (Allocator.find "no-such-allocator" = None)
+
+let test_exec_default_ctx () =
+  (* [Allocator.exec] without a context behaves like a sequential run. *)
+  let m = Machine.middle_pressure in
+  let fn, _ = Fig7.build () in
+  let res = Allocator.exec Pipeline.chaitin_base m (Cfg.clone fn) in
+  assert_valid_allocation m res
+
+let () =
+  Alcotest.run "registry"
+    [
+      ( "registry",
+        [
+          tc "names in paper order" test_names_in_paper_order;
+          tc "round trip" test_round_trip;
+          tc "duplicate rejected" test_duplicate_rejected;
+          tc "unknown key" test_unknown_is_none;
+          tc "exec with default ctx" test_exec_default_ctx;
+        ] );
+    ]

@@ -244,7 +244,7 @@ let test_random_programs_verify () =
         (fun algo ->
           let a = Pipeline.allocate_program ~verify:true algo m p in
           no_errors
-            (Printf.sprintf "%s seed %d" algo.Pipeline.key seed)
+            (Printf.sprintf "%s seed %d" algo.Allocator.name seed)
             (Pipeline.verify_allocated a))
         [ Pipeline.chaitin_base; Pipeline.pdgc_full ])
     [ 11; 42; 1234; 9876 ]
