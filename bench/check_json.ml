@@ -3,12 +3,21 @@
    Usage: check_json.exe FILE
 
    Parses the file with a small recursive-descent JSON parser (no
-   third-party dependency) and checks the bench schema: a top-level
-   object with a "bechamel" array whose elements carry "name" and
-   "ns_per_run", and a "suite_scale" array whose rows each carry the
-   per-mode wall-time fields ("jobs" >= 1 and "wall_s") introduced by
-   the multicore engine, plus a "cores" count.  Exits non-zero —
-   failing the @bench-smoke alias — on a parse or schema error. *)
+   third-party dependency) and checks the bench schema, dispatching on
+   the "schema" version string so every committed trajectory keeps
+   validating:
+
+   - all versions: a top-level object with a "bechamel" array whose
+     elements carry "name" and "ns_per_run", and a "suite_scale" array
+     whose rows each carry the per-mode wall-time fields ("jobs" >= 1
+     and "wall_s") introduced by the multicore engine;
+   - "pdgc-bench/2" and later: a "cores" count;
+   - "pdgc-bench/3": a non-empty "core" array of per-phase timing rows
+     (same shape as bechamel rows) for the dense PDGC core, and at
+     least one bechamel row that times a pdgc variant.
+
+   Exits non-zero — failing the @bench-smoke alias — on a parse or
+   schema error. *)
 
 type json =
   | Null
@@ -160,6 +169,33 @@ let parse (s : string) : json =
   if !pos <> n then fail "trailing garbage";
   v
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Checks that [v] is a non-empty array of {"name", "ns_per_run"} rows
+   and returns the row names. *)
+let timing_rows ~what v =
+  match v with
+  | Arr [] -> raise (Bad (Printf.sprintf "empty %s array" what))
+  | Arr rows ->
+      List.map
+        (function
+          | Obj r ->
+              let name =
+                match List.assoc_opt "name" r with
+                | Some (Str s) -> s
+                | _ -> raise (Bad (what ^ " row lacks a name"))
+              in
+              (match List.assoc_opt "ns_per_run" r with
+              | Some (Num _ | Null) -> ()
+              | _ -> raise (Bad (what ^ " row lacks ns_per_run")));
+              name
+          | _ -> raise (Bad (what ^ " row is not an object")))
+        rows
+  | _ -> raise (Bad (what ^ " is not an array"))
+
 let check_schema = function
   | Obj fields ->
       let find k =
@@ -167,24 +203,25 @@ let check_schema = function
         | Some v -> v
         | None -> raise (Bad (Printf.sprintf "missing key %S" k))
       in
-      (match find "bechamel" with
-      | Arr [] -> raise (Bad "empty bechamel array")
-      | Arr rows ->
-          List.iter
-            (function
-              | Obj r ->
-                  (match List.assoc_opt "name" r with
-                  | Some (Str _) -> ()
-                  | _ -> raise (Bad "bechamel row lacks a name"));
-                  (match List.assoc_opt "ns_per_run" r with
-                  | Some (Num _ | Null) -> ()
-                  | _ -> raise (Bad "bechamel row lacks ns_per_run"))
-              | _ -> raise (Bad "bechamel row is not an object"))
-            rows
-      | _ -> raise (Bad "bechamel is not an array"));
-      (match find "cores" with
-      | Num c when c >= 1.0 -> ()
-      | _ -> raise (Bad "cores is not a positive number"));
+      let version =
+        match List.assoc_opt "schema" fields with
+        | Some (Str "pdgc-bench/1") -> 1
+        | Some (Str "pdgc-bench/2") -> 2
+        | Some (Str "pdgc-bench/3") -> 3
+        | Some (Str s) -> raise (Bad (Printf.sprintf "unknown schema %S" s))
+        | Some _ -> raise (Bad "schema is not a string")
+        | None -> 1
+      in
+      let bechamel_names = timing_rows ~what:"bechamel" (find "bechamel") in
+      if version >= 2 then (
+        match find "cores" with
+        | Num c when c >= 1.0 -> ()
+        | _ -> raise (Bad "cores is not a positive number"));
+      if version >= 3 then begin
+        ignore (timing_rows ~what:"core" (find "core"));
+        if not (List.exists (fun n -> contains_sub n "pdgc") bechamel_names)
+        then raise (Bad "no pdgc-variant bechamel row")
+      end;
       (match find "suite_scale" with
       | Arr rows ->
           List.iter
@@ -200,7 +237,8 @@ let check_schema = function
                   (match List.assoc_opt "allocator" r with
                   | Some (Str _) -> ()
                   | _ -> raise (Bad "suite_scale row lacks an allocator"));
-                  if num "jobs" < 1.0 then
+                  (* Per-mode jobs arrived with the v2 multicore engine. *)
+                  if version >= 2 && num "jobs" < 1.0 then
                     raise (Bad "suite_scale row has jobs < 1");
                   ignore (num "instrs");
                   ignore (num "wall_s")

@@ -10,6 +10,9 @@
                Fig. 9 measures);
       - fig10: the three execution-time allocators at k = 24;
       - fig11: the Fig. 11 allocators at k = 24;
+      plus a "core" group that times the dense PDGC phases in
+      isolation (RPG build, CPG relaxation, integrated select) — the
+      per-phase trajectory the dense-core refactor regresses against;
    3. time whole allocator runs on larger Workload.Gen programs
       (2-5k instructions) — the suite-scale wall times that future PRs
       regress against.
@@ -18,7 +21,7 @@
      --figures-only   regenerate figures, skip all timings;
      --bench-only     skip the figure regeneration;
      --json FILE      also write the timing results as JSON (the bench
-                      trajectory; see BENCH_PR2.json / BENCH_PR3.json);
+                      trajectory; see BENCH_PR2.json .. BENCH_PR4.json);
      --jobs N         parallel mode for the suite-scale wall times:
                       every workload x allocator row is measured at
                       jobs=1 (sequential) and, when N > 1, again at
@@ -73,6 +76,80 @@ let tests () =
   Test.make_grouped ~name:"pdgc" ~fmt:"%s %s"
     ((fig7_test :: fig9) @ fig10 @ fig11)
 
+(* --- dense-core phase timings ------------------------------------------ *)
+
+(* Times the three phases of the dense PDGC core in isolation, over
+   every function of the mtrt suite program at k = 24 (the fig10
+   workload).  The per-function analysis pipeline (webs, liveness,
+   interference graph, spill costs, strengths, simplification) is run
+   once up front so each row measures only its own phase.  The select
+   row rebuilds its CPG on every run because [Pdgc_select.run] consumes
+   the graph's pending counters. *)
+let core_tests () =
+  let k = 24 in
+  let m = Machine.make ~k () in
+  let prepared = Pipeline.prepare m (Suite.program "mtrt") in
+  let units =
+    List.map
+      (fun fn ->
+        let webs = Webs.run (Cfg.clone fn) in
+        let fn = webs.Webs.func in
+        let a = Alloc_common.analyze fn in
+        let g = a.Alloc_common.graph in
+        let str = Strength.of_analysis a in
+        let costs = a.Alloc_common.costs in
+        let simp =
+          Simplify.run Simplify.Optimistic ~k g
+            ~never_spill:(fun _ -> false)
+            ()
+            ~spill_choice:(fun blocked ->
+              let metric r =
+                float_of_int (Spill_cost.spill_cost costs r)
+                /. float_of_int (max 1 (Igraph.degree g r))
+              in
+              match blocked with
+              | [] -> invalid_arg "spill_choice"
+              | first :: rest ->
+                  List.fold_left
+                    (fun acc r -> if metric r < metric acc then r else acc)
+                    first rest)
+        in
+        (fn, g, str, simp))
+      prepared.Cfg.funcs
+  in
+  let rpg_of (fn, g, str, _) =
+    Rpg.build ~kinds:`All ~cpt:(Igraph.compact g) m fn str
+  in
+  let rpg_test =
+    Test.make ~name:"rpg-build:mtrt:k24"
+      (Staged.stage (fun () ->
+           List.iter (fun u -> ignore (rpg_of u)) units))
+  in
+  let cpg_test =
+    Test.make ~name:"cpg-relax:mtrt:k24"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun (_, g, _, simp) -> ignore (Cpg.build ~k g simp))
+             units))
+  in
+  let rpgs = List.map rpg_of units in
+  let select_test =
+    Test.make ~name:"select:mtrt:k24"
+      (Staged.stage (fun () ->
+           List.iter2
+             (fun (_, g, str, simp) rpg ->
+               let cpg = Cpg.build ~k g simp in
+               ignore
+                 (Pdgc_select.run m g rpg cpg str
+                    ~no_spill:(fun _ -> false)
+                    ~spill_risk:simp.Simplify.potential_spills
+                    ~policy:Pdgc_select.Differential
+                    ~fallback_nonvolatile_first:false))
+             units rpgs))
+  in
+  Test.make_grouped ~name:"core" ~fmt:"%s %s"
+    [ rpg_test; cpg_test; select_test ]
+
 (* Returns (name, ns/run) rows sorted by name. *)
 let run_bechamel ~smoke =
   let ols =
@@ -83,19 +160,22 @@ let run_bechamel ~smoke =
     if smoke then Benchmark.cfg ~limit:20 ~quota:(Time.second 0.05) ~stabilize:false ()
     else Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
   in
-  let raw = Benchmark.all cfg instances (tests ()) in
-  let results = List.map (fun i -> Analyze.all ols i raw) instances in
-  let results = Analyze.merge ols instances results in
   let rows = ref [] in
-  Hashtbl.iter
-    (fun _measure tbl ->
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = List.map (fun i -> Analyze.all ols i raw) instances in
+      let results = Analyze.merge ols instances results in
       Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some (est :: _) -> rows := (name, Some est) :: !rows
-          | Some [] | None -> rows := (name, None) :: !rows)
-        tbl)
-    results;
+        (fun _measure tbl ->
+          Hashtbl.iter
+            (fun name ols ->
+              match Analyze.OLS.estimates ols with
+              | Some (est :: _) -> rows := (name, Some est) :: !rows
+              | Some [] | None -> rows := (name, None) :: !rows)
+            tbl)
+        results)
+    [ tests (); core_tests () ];
   let rows = List.sort compare !rows in
   print_endline "== Bechamel timings (monotonic clock, ns/run) ==";
   List.iter
@@ -230,24 +310,36 @@ let json_escape s =
   Buffer.contents buf
 
 let write_json file ~smoke ~bechamel ~scale =
+  (* The "core " name prefix (the Bechamel group) routes per-phase rows
+     into their own JSON section. *)
+  let is_core (name, _) =
+    String.length name >= 5 && String.sub name 0 5 = "core "
+  in
+  let core, bechamel = List.partition is_core bechamel in
   let oc = open_out file in
   let out fmt = Printf.fprintf oc fmt in
+  let timing_rows rows =
+    List.iteri
+      (fun i (name, est) ->
+        let sep = if i = List.length rows - 1 then "" else "," in
+        match est with
+        | Some est ->
+            out "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+              (json_escape name) est sep
+        | None ->
+            out "    {\"name\": \"%s\", \"ns_per_run\": null}%s\n"
+              (json_escape name) sep)
+      rows
+  in
   out "{\n";
-  out "  \"schema\": \"pdgc-bench/2\",\n";
+  out "  \"schema\": \"pdgc-bench/3\",\n";
   out "  \"smoke\": %b,\n" smoke;
   out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"bechamel\": [\n";
-  List.iteri
-    (fun i (name, est) ->
-      let sep = if i = List.length bechamel - 1 then "" else "," in
-      match est with
-      | Some est ->
-          out "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
-            (json_escape name) est sep
-      | None ->
-          out "    {\"name\": \"%s\", \"ns_per_run\": null}%s\n"
-            (json_escape name) sep)
-    bechamel;
+  timing_rows bechamel;
+  out "  ],\n";
+  out "  \"core\": [\n";
+  timing_rows core;
   out "  ],\n";
   out "  \"suite_scale\": [\n";
   List.iteri

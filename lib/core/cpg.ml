@@ -1,180 +1,287 @@
+(* Dense CPG.
+
+   Nodes are indices of the interference graph's compact numbering
+   (or a private numbering for [of_total_order]).  Per node, the edge
+   relation is kept three ways, exactly in sync:
+
+   - growable int vectors ([succ] / [pred]) for O(out-degree)
+     iteration;
+   - bitset rows ([succ_bits] / [pred_bits]) for O(1) duplicate
+     detection on insert/remove;
+   - cached in/out-degree counters ([indeg] / [outdeg]) and a global
+     [edges] counter, so [n_edges] and the initial-node scan never
+     recount sets.
+
+   The tree-based predecessor of this module iterated [Reg.Set]s,
+   whose order (ascending register id) leaks into observable behavior:
+   the transitive-pruning step of [build] mutates the graph mid-scan,
+   and [resolve] returns newly-ready successors in *descending*
+   register order (ascending fold + prepend).  Every scan here sorts
+   by register id first to reproduce those orders bit-for-bit. *)
+
 type t = {
-  succ_tbl : Reg.Set.t ref Reg.Tbl.t;
-  pred_tbl : Reg.Set.t ref Reg.Tbl.t;
+  cpt : Regbits.compact;
+  mutable cap : int;
+  mutable succ : Regbits.Vec.t array;
+  mutable pred : Regbits.Vec.t array;
+  mutable succ_bits : Regbits.Set.t array;
+  mutable pred_bits : Regbits.Set.t array;
+  mutable indeg : int array;
+  mutable outdeg : int array;
+  mutable pending : int array; (* unresolved predecessor count *)
+  mutable edges : int; (* cached: always = number of distinct edges *)
   mutable initial_nodes : Reg.t list;
-  pending : int Reg.Tbl.t; (* unresolved predecessor count *)
+  (* DFS scratch for [reachable]: a node is visited in the current
+     query iff [mark.(i) = stamp]; bumping [stamp] clears in O(1). *)
+  mutable mark : int array;
+  mutable stamp : int;
   all : Reg.t list;
 }
 
-let cell tbl r =
-  match Reg.Tbl.find_opt tbl r with
-  | Some c -> c
-  | None ->
-      let c = ref Reg.Set.empty in
-      Reg.Tbl.replace tbl r c;
-      c
+let grow t needed =
+  let cap = max needed (max 16 (2 * t.cap)) in
+  let succ = Array.make cap (Regbits.Vec.create ()) in
+  let pred = Array.make cap (Regbits.Vec.create ()) in
+  let succ_bits = Array.make cap (Regbits.Set.create 0) in
+  let pred_bits = Array.make cap (Regbits.Set.create 0) in
+  let indeg = Array.make cap 0 in
+  let outdeg = Array.make cap 0 in
+  let pending = Array.make cap 0 in
+  let mark = Array.make cap 0 in
+  Array.blit t.succ 0 succ 0 t.cap;
+  Array.blit t.pred 0 pred 0 t.cap;
+  Array.blit t.succ_bits 0 succ_bits 0 t.cap;
+  Array.blit t.pred_bits 0 pred_bits 0 t.cap;
+  Array.blit t.indeg 0 indeg 0 t.cap;
+  Array.blit t.outdeg 0 outdeg 0 t.cap;
+  Array.blit t.pending 0 pending 0 t.cap;
+  Array.blit t.mark 0 mark 0 t.cap;
+  for i = t.cap to cap - 1 do
+    succ.(i) <- Regbits.Vec.create ();
+    pred.(i) <- Regbits.Vec.create ();
+    succ_bits.(i) <- Regbits.Set.create 0;
+    pred_bits.(i) <- Regbits.Set.create 0
+  done;
+  t.succ <- succ;
+  t.pred <- pred;
+  t.succ_bits <- succ_bits;
+  t.pred_bits <- pred_bits;
+  t.indeg <- indeg;
+  t.outdeg <- outdeg;
+  t.pending <- pending;
+  t.mark <- mark;
+  t.cap <- cap
 
-let set_of tbl r =
-  match Reg.Tbl.find_opt tbl r with Some c -> !c | None -> Reg.Set.empty
+let make cpt all =
+  let t =
+    {
+      cpt;
+      cap = 0;
+      succ = [||];
+      pred = [||];
+      succ_bits = [||];
+      pred_bits = [||];
+      indeg = [||];
+      outdeg = [||];
+      pending = [||];
+      edges = 0;
+      initial_nodes = [];
+      mark = [||];
+      stamp = 0;
+      all;
+    }
+  in
+  grow t (max 16 (Regbits.size cpt));
+  t
 
-let succs t r = Reg.Set.elements (set_of t.succ_tbl r)
-let preds t r = Reg.Set.elements (set_of t.pred_tbl r)
+let idx t r =
+  let i = Regbits.index t.cpt r in
+  if i >= t.cap then grow t (i + 1);
+  i
+
+(* Index of [r] if it has any chance of carrying graph state. *)
+let find_idx t r =
+  match Regbits.find t.cpt r with
+  | Some i when i < t.cap -> Some i
+  | Some _ | None -> None
+
+let reg_at t i = Regbits.reg_at t.cpt i
+
+(* Registers in ascending id order, as [Reg.Set.elements] returned. *)
+let sorted_regs_of_vec t v =
+  Regbits.Vec.fold v ~init:[] ~f:(fun acc i -> reg_at t i :: acc)
+  |> List.sort Reg.compare
+
+let succs t r =
+  match find_idx t r with Some i -> sorted_regs_of_vec t t.succ.(i) | None -> []
+
+let preds t r =
+  match find_idx t r with Some i -> sorted_regs_of_vec t t.pred.(i) | None -> []
+
 let nodes t = t.all
 let initial t = t.initial_nodes
+let n_edges t = t.edges
 
-let n_edges t =
-  Reg.Tbl.fold (fun _ c acc -> acc + Reg.Set.cardinal !c) t.succ_tbl 0
-
-(* Is [target] reachable from [src] following succ edges? *)
-let reachable t src target =
-  let seen = Reg.Tbl.create 16 in
-  let rec go r =
-    Reg.equal r target
-    || (not (Reg.Tbl.mem seen r))
+(* Is [target] reachable from [src] following succ edges?  Pure
+   reachability — traversal order does not affect the answer. *)
+let reachable_idx t src target =
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let rec go i =
+    i = target
+    || (t.mark.(i) <> stamp
        && begin
-            Reg.Tbl.replace seen r ();
-            Reg.Set.exists go (set_of t.succ_tbl r)
-          end
+            t.mark.(i) <- stamp;
+            any t.succ.(i) 0
+          end)
+  and any v j =
+    j < Regbits.Vec.length v && (go (Regbits.Vec.get v j) || any v (j + 1))
   in
-  Reg.equal src target || Reg.Set.exists go (set_of t.succ_tbl src)
+  src = target || any t.succ.(src) 0
 
-let add_edge t u v =
-  let su = cell t.succ_tbl u and pv = cell t.pred_tbl v in
-  su := Reg.Set.add v !su;
-  pv := Reg.Set.add u !pv
+let add_edge_idx t u v =
+  if not (Regbits.Set.mem t.succ_bits.(u) v) then begin
+    Regbits.Set.add t.succ_bits.(u) v;
+    Regbits.Set.add t.pred_bits.(v) u;
+    Regbits.Vec.push t.succ.(u) v;
+    Regbits.Vec.push t.pred.(v) u;
+    t.outdeg.(u) <- t.outdeg.(u) + 1;
+    t.indeg.(v) <- t.indeg.(v) + 1;
+    t.edges <- t.edges + 1
+  end
 
-let remove_edge t u v =
-  let su = cell t.succ_tbl u and pv = cell t.pred_tbl v in
-  su := Reg.Set.remove v !su;
-  pv := Reg.Set.remove u !pv
+let remove_edge_idx t u v =
+  if Regbits.Set.mem t.succ_bits.(u) v then begin
+    Regbits.Set.remove t.succ_bits.(u) v;
+    Regbits.Set.remove t.pred_bits.(v) u;
+    ignore (Regbits.Vec.remove_value t.succ.(u) v);
+    ignore (Regbits.Vec.remove_value t.pred.(v) u);
+    t.outdeg.(u) <- t.outdeg.(u) - 1;
+    t.indeg.(v) <- t.indeg.(v) - 1;
+    t.edges <- t.edges - 1
+  end
+
+(* Fill [pending] from the final in-degrees and collect the
+   zero-predecessor nodes, scanning the removal order so that
+   [initial_nodes] ends up in the same (reversed) order as before. *)
+let finish_build t order_idx =
+  List.iter
+    (fun i ->
+      t.pending.(i) <- t.indeg.(i);
+      if t.indeg.(i) = 0 then t.initial_nodes <- reg_at t i :: t.initial_nodes)
+    order_idx;
+  t
 
 let build ~k g (simp : Simplify.result) =
   let order = Simplify.removal_order simp in
-  let t =
-    {
-      succ_tbl = Reg.Tbl.create 64;
-      pred_tbl = Reg.Tbl.create 64;
-      initial_nodes = [];
-      pending = Reg.Tbl.create 64;
-      all = order;
-    }
-  in
+  let t = make (Igraph.compact g) order in
+  let order_idx = List.map (fun r -> Igraph.index_of g r) order in
+  List.iter (fun i -> if i >= t.cap then grow t (i + 1)) order_idx;
   (* Working interference graph: residual degree + presence, physical
-     registers excluded. *)
-  let wig_adj r =
-    Igraph.fold_adj g r ~init:Reg.Set.empty ~f:(fun acc n ->
-        if Reg.is_virtual n then Reg.Set.add n acc else acc)
-  in
-  let present = Reg.Tbl.create 64 in
-  let degree = Reg.Tbl.create 64 in
-  let ready = Reg.Tbl.create 64 in
+     registers excluded.  Virtual adjacency is precomputed per order
+     node, sorted ascending by register id to match the tree-based
+     [Reg.Set] iteration order. *)
+  let vadj = Array.make t.cap [||] in
+  let present = Array.make t.cap false in
+  let degree = Array.make t.cap 0 in
+  let ready = Array.make t.cap false in
   List.iter
-    (fun r ->
-      Reg.Tbl.replace present r ();
-      Reg.Tbl.replace degree r (Reg.Set.cardinal (wig_adj r)))
-    order;
+    (fun i ->
+      let acc = ref [] in
+      Igraph.iter_adj_idx g i (fun n ->
+          if Reg.is_virtual (reg_at t n) then acc := n :: !acc);
+      let vs = Array.of_list !acc in
+      Array.sort (fun a b -> Reg.compare (reg_at t a) (reg_at t b)) vs;
+      vadj.(i) <- vs;
+      present.(i) <- true;
+      degree.(i) <- Array.length vs)
+    order_idx;
   (* Step 4: initially low-degree nodes are ready; potential spills
      exist but stay unready. *)
-  List.iter
-    (fun r ->
-      if Reg.Tbl.find degree r < k then Reg.Tbl.replace ready r ())
-    order;
+  List.iter (fun i -> if degree.(i) < k then ready.(i) <- true) order_idx;
   (* Steps 5-9: pop in removal order. *)
   List.iter
     (fun n ->
-      Reg.Tbl.remove present n;
-      let neighbors =
-        Reg.Set.filter (fun x -> Reg.Tbl.mem present x) (wig_adj n)
-      in
-      let non_ready =
-        Reg.Set.filter (fun x -> not (Reg.Tbl.mem ready x)) neighbors
-      in
+      present.(n) <- false;
+      let neighbors = Array.to_list vadj.(n) |> List.filter (fun x -> present.(x)) in
+      let non_ready = List.filter (fun x -> not ready.(x)) neighbors in
       (* Step 7: non-ready remaining neighbors precede n.  Skip an edge
          that is already implied, and drop direct edges it makes
-         transitive. *)
-      Reg.Set.iter
+         transitive.  The inner scan iterates a snapshot of u's
+         successors (sorted ascending by register id, matching the old
+         set snapshot) while removing edges. *)
+      List.iter
         (fun u ->
-          if not (reachable t u n) then begin
+          if not (reachable_idx t u n) then begin
             (* An existing direct edge u -> m is transitive if n -> m
                holds after adding u -> n. *)
-            add_edge t u n;
-            Reg.Set.iter
-              (fun m ->
-                if (not (Reg.equal m n)) && reachable t n m then
-                  remove_edge t u m)
-              (set_of t.succ_tbl u)
+            add_edge_idx t u n;
+            let snapshot =
+              Regbits.Vec.fold t.succ.(u) ~init:[] ~f:(fun acc m -> m :: acc)
+              |> List.sort (fun a b -> Reg.compare (reg_at t a) (reg_at t b))
+            in
+            List.iter
+              (fun m -> if m <> n && reachable_idx t n m then remove_edge_idx t u m)
+              snapshot
           end)
         non_ready;
       (* Step 8: the removal may make neighbors ready. *)
-      Reg.Set.iter
+      List.iter
         (fun x ->
-          let d = Reg.Tbl.find degree x - 1 in
-          Reg.Tbl.replace degree x d;
-          if d < k then Reg.Tbl.replace ready x ())
+          let d = degree.(x) - 1 in
+          degree.(x) <- d;
+          if d < k then ready.(x) <- true)
         neighbors)
-    order;
+    order_idx;
   (* Nodes with no predecessors hang off the top. *)
-  List.iter
-    (fun r ->
-      let np = Reg.Set.cardinal (set_of t.pred_tbl r) in
-      Reg.Tbl.replace t.pending r np;
-      if np = 0 then t.initial_nodes <- r :: t.initial_nodes)
-    order;
-  t
+  finish_build t order_idx
 
 let of_total_order order =
-  let t =
-    {
-      succ_tbl = Reg.Tbl.create 64;
-      pred_tbl = Reg.Tbl.create 64;
-      initial_nodes = [];
-      pending = Reg.Tbl.create 64;
-      all = order;
-    }
-  in
+  let cpt = Regbits.create () in
+  let t = make cpt order in
+  let order_idx = List.map (idx t) order in
   let rec chain = function
     | a :: (b :: _ as rest) ->
-        add_edge t a b;
+        add_edge_idx t a b;
         chain rest
     | [ _ ] | [] -> ()
   in
-  chain order;
-  List.iter
-    (fun r ->
-      let np = Reg.Set.cardinal (set_of t.pred_tbl r) in
-      Reg.Tbl.replace t.pending r np;
-      if np = 0 then t.initial_nodes <- r :: t.initial_nodes)
-    order;
-  t
+  chain order_idx;
+  finish_build t order_idx
 
+(* The tree-based version folded the successor set ascending and
+   prepended each newly-ready node: the result is the newly-ready
+   successors in descending register order.  Reproduce it by sorting;
+   which successors become ready does not depend on visit order (each
+   is decremented exactly once). *)
 let resolve t r =
-  Reg.Set.fold
-    (fun s acc ->
-      let p = Reg.Tbl.find t.pending s - 1 in
-      Reg.Tbl.replace t.pending s p;
-      if p = 0 then s :: acc else acc)
-    (set_of t.succ_tbl r) []
+  match find_idx t r with
+  | None -> []
+  | Some i ->
+      let ready = ref [] in
+      Regbits.Vec.iter t.succ.(i) (fun s ->
+          let p = t.pending.(s) - 1 in
+          t.pending.(s) <- p;
+          if p = 0 then ready := reg_at t s :: !ready);
+      List.sort (fun a b -> Reg.compare b a) !ready
 
 let topological_orders_ok t =
   (* Kahn's algorithm visits every node iff the graph is acyclic. *)
-  let pending = Reg.Tbl.create 64 in
+  let pending = Array.copy t.indeg in
   let q = Queue.create () in
   List.iter
     (fun r ->
-      let np = Reg.Set.cardinal (set_of t.pred_tbl r) in
-      Reg.Tbl.replace pending r np;
-      if np = 0 then Queue.add r q)
+      let i = idx t r in
+      if pending.(i) = 0 then Queue.add i q)
     t.all;
   let visited = ref 0 in
   while not (Queue.is_empty q) do
-    let r = Queue.pop q in
+    let i = Queue.pop q in
     incr visited;
-    Reg.Set.iter
-      (fun s ->
-        let p = Reg.Tbl.find pending s - 1 in
-        Reg.Tbl.replace pending s p;
+    Regbits.Vec.iter t.succ.(i) (fun s ->
+        let p = pending.(s) - 1 in
+        pending.(s) <- p;
         if p = 0 then Queue.add s q)
-      (set_of t.succ_tbl r)
   done;
   !visited = List.length t.all
 

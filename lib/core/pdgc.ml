@@ -32,18 +32,13 @@ let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
     if n > 64 then raise (Alloc_common.Failed "pdgc: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
-    let temps =
-      Reg.Tbl.fold
-        (fun w orig acc ->
-          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
-        webs.Webs.origin Reg.Set.empty
-    in
-    let live = Liveness.compute fn in
-    let g = Igraph.build fn live in
-    let str = Strength.create fn in
-    let rpg = Rpg.build ~kinds m fn str in
-    let costs = Spill_cost.compute fn in
-    let no_spill r = Reg.Set.mem r temps in
+    let temps = Alloc_common.remap_temps webs temps in
+    let a = Alloc_common.analyze fn in
+    let g = a.Alloc_common.graph in
+    let str = Strength.of_analysis a in
+    let rpg = Rpg.build ~kinds ~cpt:(Igraph.compact g) m fn str in
+    let costs = a.Alloc_common.costs in
+    let no_spill r = Reg.Tbl.mem temps r in
     (* Optimistic simplification; no merging — coalescing is deferred
        to selection. *)
     let simp =
@@ -89,18 +84,13 @@ let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
         Spill_insert.insert ~rematerialize:config.rematerialize fn
           sel.Pdgc_select.spilled
       in
-      let temps =
-        Reg.Set.union temps
-          (Reg.Set.filter
-             (fun r -> r >= ins.Spill_insert.temp_watermark)
-             (Cfg.all_vregs ins.Spill_insert.func))
-      in
+      let temps = Alloc_common.add_spill_temps temps ins in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
         ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+  round f0 ~temps:(Reg.Tbl.create 16) ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let allocate_verbose variant m f =
   allocate_config_verbose (default_config variant) m f

@@ -14,17 +14,68 @@ type outcome = {
   stats : stats;
 }
 
+(* Dense select.
+
+   Node state is indexed by the interference graph's compact numbering;
+   sets of *physical* registers (availability, screens, kind/limited
+   partitions) are int bitmasks with bit [j] standing for the machine
+   register of index [j] in the node's class.  Bit order equals
+   register-id order within a class, so ascending-bit scans reproduce
+   the [Reg.Set] iteration order of the tree-based implementation
+   exactly, and mask intersections reproduce [Reg.Set.inter].
+
+   The ready set is split by the pick rule it feeds:
+   - spill-risk nodes keep their CPG-queue order in a list (the pick
+     rule is "first at-risk node in queue order");
+   - under [Fifo] the whole queue stays a list (the pick rule is
+     positional);
+   - otherwise non-risk ready nodes live in an indexed binary max-heap
+     ordered by (policy key, spill-cost tiebreak, lowest register id).
+     Metric invalidations mark heap members dirty; [pick_node] first
+     re-keys the dirty members — exactly the recomputation the linear
+     rescan used to do, but without touching clean nodes — then reads
+     the root in O(1).  The comparator is a strict total order (register
+     ids break all ties), so the heap root equals the old fold's
+     maximum. *)
+
 (* Resolution of one preference against the current allocation state. *)
 type resolved =
-  | Screen of Reg.Set.t (* honorable via any of these registers *)
+  | Screen of int (* honorable via any register in this nonempty mask *)
   | Defer (* target live range not allocated yet *)
   | Want_memory
   | Dead (* cannot be honored anymore *)
 
 let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
     ~no_spill ~spill_risk ~policy ~fallback_nonvolatile_first =
+  let k = m.Machine.k in
+  if k > Sys.int_size - 1 then
+    invalid_arg "Pdgc_select.run: machine k exceeds the bitmask width";
+  let all_mask = (1 lsl k) - 1 in
+  let cpt = Igraph.compact g in
+  let n_cap = max 16 (Regbits.size cpt) in
+  (* Per-class masks: volatile / nonvolatile / limited partitions of the
+     k machine registers (bit j = register index j of that class). *)
+  let cls_code = function Reg.Int_class -> 0 | Reg.Float_class -> 1 in
+  let vol_mask = [| 0; 0 |] and lim_mask = [| 0; 0 |] in
+  List.iter
+    (fun cls ->
+      let c = cls_code cls in
+      for j = 0 to k - 1 do
+        let r = Reg.phys cls j in
+        if Machine.is_volatile m r then vol_mask.(c) <- vol_mask.(c) lor (1 lsl j);
+        if Machine.in_limited_set m r then
+          lim_mask.(c) <- lim_mask.(c) lor (1 lsl j)
+      done)
+    [ Reg.Int_class; Reg.Float_class ];
   let colors : Reg.t Reg.Tbl.t = Reg.Tbl.create 64 in
-  let spilled = ref Reg.Set.empty in
+  (* color_idx.(i): machine-register index of node i's color; -1 if
+     uncolored.  Physical nodes are their own color. *)
+  let color_idx = Array.make n_cap (-1) in
+  for i = 0 to Regbits.size cpt - 1 do
+    let r = Regbits.reg_at cpt i in
+    if Reg.is_phys r then color_idx.(i) <- Reg.phys_index r
+  done;
+  let spilled_bits = Regbits.Set.create n_cap in
   let stats =
     ref
       {
@@ -35,51 +86,50 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         active_spills = 0;
       }
   in
-  let color_of r = if Reg.is_phys r then Some r else Reg.Tbl.find_opt colors r in
-  let available n =
-    let forbidden =
-      Igraph.fold_adj g n ~init:Reg.Set.empty ~f:(fun acc nb ->
-          match color_of nb with
-          | Some c -> Reg.Set.add c acc
-          | None -> acc)
-    in
-    Machine.all m (Igraph.cls g n)
-    |> List.filter (fun c -> not (Reg.Set.mem c forbidden))
-    |> Reg.Set.of_list
+  let nidx r = Igraph.index_of g r in
+  let available_idx i =
+    let forbidden = ref 0 in
+    Igraph.iter_adj_idx g i (fun nb ->
+        let cj = color_idx.(nb) in
+        if cj >= 0 then forbidden := !forbidden lor (1 lsl cj));
+    all_mask land lnot !forbidden
   in
-  let shifted c delta =
-    let idx = Reg.phys_index c + delta in
-    if idx < 0 || idx >= m.Machine.k then None
-    else Some (Reg.phys (Reg.phys_cls c) idx)
-  in
-  let kind_set cls volatile =
-    if volatile then Machine.volatiles m cls else Machine.nonvolatiles m cls
-  in
+  let available n = available_idx (nidx n) in
+  let shift_ok j = j >= 0 && j < k in
   (* Steps 2.1/2.2: resolve a preference of [n] given its available
-     set. *)
-  let resolve n avail (p : Rpg.pref) =
-    let target_reg t k =
-      match color_of t with
-      | Some c -> (
-          match k c with
-          | Some want ->
-              if Reg.Set.mem want avail then Screen (Reg.Set.singleton want)
-              else Dead
-          | None -> Dead)
-      | None -> if Reg.Set.mem t !spilled then Dead else Defer
+     mask. *)
+  let resolve ncls avail (p : Rpg.pref) n =
+    let target_reg t delta =
+      (* Color of the target as a machine-register index, if any. *)
+      let cj =
+        if Reg.is_phys t then Some (Reg.phys_index t)
+        else
+          let tj = color_idx.(nidx t) in
+          if tj >= 0 then Some tj else None
+      in
+      match cj with
+      | Some c ->
+          let want = c + delta in
+          if shift_ok want && avail land (1 lsl want) <> 0 then
+            Screen (1 lsl want)
+          else Dead
+      | None ->
+          if (not (Reg.is_phys t)) && Regbits.Set.mem spilled_bits (nidx t) then
+            Dead
+          else Defer
     in
     match p.Rpg.target with
-    | Rpg.Coalesce t -> target_reg t (fun c -> Some c)
-    | Rpg.Seq_plus t -> target_reg t (fun c -> shifted c 1)
-    | Rpg.Seq_minus t -> target_reg t (fun c -> shifted c (-1))
+    | Rpg.Coalesce t -> target_reg t 0
+    | Rpg.Seq_plus t -> target_reg t 1
+    | Rpg.Seq_minus t -> target_reg t (-1)
     | Rpg.Kind ->
-        let cls = Igraph.cls g n in
         let volatile = p.Rpg.weight.Strength.vol >= p.Rpg.weight.Strength.nonvol in
-        let s = Reg.Set.inter avail (kind_set cls volatile) in
-        if Reg.Set.is_empty s then Dead else Screen s
+        let km = if volatile then vol_mask.(ncls) else all_mask land lnot vol_mask.(ncls) in
+        let s = avail land km in
+        if s = 0 then Dead else Screen s
     | Rpg.In_limited ->
-        let s = Reg.Set.filter (Machine.in_limited_set m) avail in
-        if Reg.Set.is_empty s then Dead else Screen s
+        let s = avail land lim_mask.(ncls) in
+        if s = 0 then Dead else Screen s
     | Rpg.Memory -> if no_spill n then Dead else Want_memory
   in
   (* Effective strength of a resolved preference.  Coalesce and
@@ -90,15 +140,12 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
      preferences rank by the benefit of the right kind over the wrong
      one (for the paper's v4 the two formulations coincide at 28), and
      limited-set preferences by the fixup saving. *)
-  let eff_strength (p : Rpg.pref) resolved =
+  let eff_strength ncls (p : Rpg.pref) resolved =
     match (resolved, p.Rpg.target) with
     | Want_memory, _ -> Rpg.strength str p
     | Screen s, (Rpg.Coalesce _ | Rpg.Seq_plus _ | Rpg.Seq_minus _) ->
-        let volatile =
-          match Reg.Set.choose_opt s with
-          | Some c -> Machine.is_volatile m c
-          | None -> true
-        in
+        (* The screen is a singleton here; test its volatility. *)
+        let volatile = s land (-s) land vol_mask.(ncls) <> 0 in
         Strength.weight_for ~volatile p.Rpg.weight
     | Screen _, Rpg.Kind ->
         abs (p.Rpg.weight.Strength.vol - p.Rpg.weight.Strength.nonvol)
@@ -111,96 +158,211 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         Costs.limited_fixup * f
     | Screen _, Rpg.Memory | (Defer | Dead), _ -> 0
   in
-  (* Honorable preferences with positive effective strength, strongest
-     first. *)
-  let honorable_of n avail =
-    List.filter_map
-      (fun p ->
-        let r = resolve n avail p in
-        match r with
-        | Screen _ | Want_memory ->
-            let e = eff_strength p r in
-            if e > 0 then Some (p, r, e) else None
-        | Defer | Dead -> None)
-      (Rpg.prefs rpg n)
-    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
-  in
   (* Step 3 metric: differential between strongest and weakest honorable
      preference; a single preference counts its full strength.  The
      metric of a node only changes when a neighbor takes a color
      (availability) or a preference target resolves; those events
      invalidate the cache below. *)
-  let metric_cache : (int * int) Reg.Tbl.t = Reg.Tbl.create 64 in
+  let md = Array.make n_cap 0 in
+  let ms = Array.make n_cap 0 in
+  let mok = Array.make n_cap false in
   let node_metric n =
-    match Reg.Tbl.find_opt metric_cache n with
-    | Some m -> m
-    | None ->
-        let avail = available n in
-        let strengths =
-          List.map (fun (_, _, e) -> e) (honorable_of n avail)
-        in
-        let m =
-          match strengths with
-          | [] -> (-1, 0)
-          | [ s ] -> (s, s)
-          | s :: rest ->
-              let weakest = List.fold_left min s rest in
-              (s - weakest, s)
-        in
-        Reg.Tbl.replace metric_cache n m;
-        m
+    let i = nidx n in
+    if mok.(i) then (md.(i), ms.(i))
+    else begin
+      let ncls = cls_code (Igraph.cls g n) in
+      let avail = available_idx i in
+      let mx = ref 0 and mn = ref max_int and cnt = ref 0 in
+      List.iter
+        (fun p ->
+          match resolve ncls avail p n with
+          | (Screen _ | Want_memory) as r ->
+              let e = eff_strength ncls p r in
+              if e > 0 then begin
+                incr cnt;
+                if e > !mx then mx := e;
+                if e < !mn then mn := e
+              end
+          | Defer | Dead -> ())
+        (Rpg.prefs rpg n);
+      let d, s =
+        if !cnt = 0 then (-1, 0)
+        else if !cnt = 1 then (!mx, !mx)
+        else (!mx - !mn, !mx)
+      in
+      md.(i) <- d;
+      ms.(i) <- s;
+      mok.(i) <- true;
+      (d, s)
+    end
+  in
+  let costs_tiebreak n = Strength.spill_cost str n in
+  let cost_arr = Array.make n_cap 0 in
+  let cost_ok = Array.make n_cap false in
+  let cost_of i =
+    if not cost_ok.(i) then begin
+      cost_arr.(i) <- costs_tiebreak (Regbits.reg_at cpt i);
+      cost_ok.(i) <- true
+    end;
+    cost_arr.(i)
+  in
+  (* Indexed binary max-heap over node indices.  Keys (hk1, hk2) are
+     the policy pair captured at push/refresh time; the heap invariant
+     always holds for the *stored* keys, and dirty members are re-keyed
+     before any pick reads the root. *)
+  let heap = Array.make n_cap 0 in
+  let hsize = ref 0 in
+  let hpos = Array.make n_cap (-1) in
+  let hk1 = Array.make n_cap 0 in
+  let hk2 = Array.make n_cap 0 in
+  let better a b =
+    (* Strict "a ranks above b": larger key, then larger spill cost,
+       then smaller register id — the old fold's replacement test. *)
+    hk1.(a) > hk1.(b)
+    || (hk1.(a) = hk1.(b)
+       && (hk2.(a) > hk2.(b)
+          || (hk2.(a) = hk2.(b)
+             && (cost_of a > cost_of b
+                || (cost_of a = cost_of b
+                   && Reg.compare (Regbits.reg_at cpt a) (Regbits.reg_at cpt b)
+                      < 0)))))
+  in
+  let swap x y =
+    let a = heap.(x) and b = heap.(y) in
+    heap.(x) <- b;
+    heap.(y) <- a;
+    hpos.(b) <- x;
+    hpos.(a) <- y
+  in
+  let rec sift_up x =
+    if x > 0 then begin
+      let parent = (x - 1) / 2 in
+      if better heap.(x) heap.(parent) then begin
+        swap x parent;
+        sift_up parent
+      end
+    end
+  in
+  let rec sift_down x =
+    let l = (2 * x) + 1 and r = (2 * x) + 2 in
+    let best = ref x in
+    if l < !hsize && better heap.(l) heap.(!best) then best := l;
+    if r < !hsize && better heap.(r) heap.(!best) then best := r;
+    if !best <> x then begin
+      swap x !best;
+      sift_down !best
+    end
+  in
+  let set_keys i =
+    let d, s = node_metric (Regbits.reg_at cpt i) in
+    let p1, p2 = match policy with Differential -> (d, s) | Strongest | Fifo -> (s, d) in
+    hk1.(i) <- p1;
+    hk2.(i) <- p2
+  in
+  let heap_push i =
+    set_keys i;
+    heap.(!hsize) <- i;
+    hpos.(i) <- !hsize;
+    incr hsize;
+    sift_up (!hsize - 1)
+  in
+  let heap_remove i =
+    let x = hpos.(i) in
+    if x >= 0 then begin
+      decr hsize;
+      hpos.(i) <- -1;
+      if x < !hsize then begin
+        let last = heap.(!hsize) in
+        heap.(x) <- last;
+        hpos.(last) <- x;
+        sift_up x;
+        sift_down x
+      end
+    end
+  in
+  let heap_refresh i =
+    set_keys i;
+    let x = hpos.(i) in
+    if x >= 0 then begin
+      sift_up x;
+      sift_down hpos.(i)
+    end
+  in
+  let dirty = Array.make n_cap false in
+  let dirty_list = ref [] in
+  let mark_dirty i =
+    mok.(i) <- false;
+    if not dirty.(i) then begin
+      dirty.(i) <- true;
+      dirty_list := i :: !dirty_list
+    end
+  in
+  let flush_dirty () =
+    let ds = !dirty_list in
+    dirty_list := [];
+    List.iter
+      (fun i ->
+        dirty.(i) <- false;
+        if hpos.(i) >= 0 then heap_refresh i)
+      ds
   in
   (* Assigning or spilling [n] can change the metric of its graph
      neighbors (availability) and of preference-related nodes. *)
   let invalidate_after n =
-    Igraph.iter_adj g n (fun nb -> Reg.Tbl.remove metric_cache nb);
-    List.iter (fun (u, _) -> Reg.Tbl.remove metric_cache u) (Rpg.incoming rpg n);
+    Igraph.iter_adj_idx g (nidx n) mark_dirty;
+    List.iter (fun (u, _) -> mark_dirty (nidx u)) (Rpg.incoming rpg n);
     List.iter
       (fun (p : Rpg.pref) ->
         match p.Rpg.target with
         | Rpg.Coalesce t | Rpg.Seq_plus t | Rpg.Seq_minus t ->
-            Reg.Tbl.remove metric_cache t
+            mark_dirty (nidx t)
         | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
       (Rpg.prefs rpg n)
   in
-  let q : Reg.t list ref = ref (Cpg.initial cpg) in
-  let costs_tiebreak n = Strength.spill_cost str n in
+  let is_risk n = Reg.Set.mem n spill_risk in
+  (* Ready set.  [risk_list] keeps CPG-queue order; under Fifo the
+     whole queue does. *)
+  let fifo_q : Reg.t list ref = ref [] in
+  let risk_list : Reg.t list ref = ref [] in
+  let add_ready news =
+    match policy with
+    | Fifo -> fifo_q := news @ !fifo_q
+    | Differential | Strongest ->
+        risk_list := List.filter is_risk news @ !risk_list;
+        List.iter (fun r -> if not (is_risk r) then heap_push (nidx r)) news
+  in
+  let remove_ready n =
+    match policy with
+    | Fifo -> fifo_q := List.filter (fun x -> not (Reg.equal x n)) !fifo_q
+    | Differential | Strongest ->
+        if is_risk n then
+          risk_list := List.filter (fun x -> not (Reg.equal x n)) !risk_list
+        else heap_remove (nidx n)
+  in
+  add_ready (Cpg.initial cpg);
   let pick_node () =
-    match !q with
-    | [] -> None
-    | first :: rest -> (
-        (* Nodes that optimistic simplification could not guarantee a
-           color for go as early as the partial order allows: coloring
-           them while registers remain free is how the select phase
-           keeps spill decisions ahead of preference resolution
-           (§5.4). *)
-        match List.filter (fun n -> Reg.Set.mem n spill_risk) !q with
+    match policy with
+    | Fifo -> (
+        match !fifo_q with
+        | [] -> None
+        | first :: _ -> (
+            (* Nodes that optimistic simplification could not guarantee
+               a color for go as early as the partial order allows:
+               coloring them while registers remain free is how the
+               select phase keeps spill decisions ahead of preference
+               resolution (§5.4). *)
+            match List.filter is_risk !fifo_q with
+            | at_risk :: _ -> Some at_risk
+            | [] -> Some first))
+    | Differential | Strongest -> (
+        match !risk_list with
         | at_risk :: _ -> Some at_risk
-        | [] when policy = Fifo -> Some first
         | [] ->
-            (* Differential uses (differential, strongest); Strongest
-               compares the strongest preference alone. *)
-            let key n =
-              let d, s = node_metric n in
-              match policy with
-              | Differential -> (d, s)
-              | Strongest | Fifo -> (s, d)
-            in
-            let best =
-              List.fold_left
-                (fun acc n ->
-                  let ka = key acc and kn = key n in
-                  if
-                    kn > ka
-                    || (kn = ka && costs_tiebreak n > costs_tiebreak acc)
-                    || (kn = ka
-                       && costs_tiebreak n = costs_tiebreak acc
-                       && Reg.compare n acc < 0)
-                  then n
-                  else acc)
-                first rest
-            in
-            Some best)
+            if !hsize = 0 then None
+            else begin
+              flush_dirty ();
+              Some (Regbits.reg_at cpt heap.(0))
+            end)
   in
   let bump which =
     let s = !stats in
@@ -214,21 +376,37 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
   in
   let finish n =
     invalidate_after n;
-    q := List.filter (fun x -> not (Reg.equal x n)) !q;
-    q := Cpg.resolve cpg n @ !q
+    remove_ready n;
+    add_ready (Cpg.resolve cpg n)
   in
   let spill n =
-    spilled := Reg.Set.add n !spilled;
+    Regbits.Set.add spilled_bits (nidx n);
     finish n
   in
   let assign n =
-    let avail = available n in
-    if Reg.Set.is_empty avail then spill n
+    let i = nidx n in
+    let cls = Igraph.cls g n in
+    let ncls = cls_code cls in
+    let avail = available_idx i in
+    if avail = 0 then spill n
     else begin
       let resolved =
-        List.map (fun p -> (p, resolve n avail p)) (Rpg.prefs rpg n)
+        List.map (fun p -> (p, resolve ncls avail p n)) (Rpg.prefs rpg n)
       in
-      let honorable = honorable_of n avail in
+      (* Honorable preferences with positive effective strength,
+         strongest first (stable sort over the prefs order, as
+         before). *)
+      let honorable =
+        List.filter_map
+          (fun (p, r) ->
+            match r with
+            | Screen _ | Want_memory ->
+                let e = eff_strength ncls p r in
+                if e > 0 then Some (p, r, e) else None
+            | Defer | Dead -> None)
+          resolved
+        |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+      in
       let strongest_is_memory =
         match honorable with (_, Want_memory, _) :: _ -> true | _ -> false
       in
@@ -243,8 +421,8 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
           (fun (p, r, _) ->
             match r with
             | Screen s ->
-                let s = Reg.Set.inter s !current in
-                if not (Reg.Set.is_empty s) then begin
+                let s = s land !current in
+                if s <> 0 then begin
                   current := s;
                   match p.Rpg.target with
                   | Rpg.Coalesce _ -> bump `Coalesce
@@ -257,82 +435,59 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
           honorable;
         (* Step 4.3: keep future preferences honorable — both this
            node's deferred preferences and unallocated nodes' preferences
-           targeting this node. *)
-        let keep_if_nonempty filter =
-          let s = Reg.Set.filter filter !current in
-          if not (Reg.Set.is_empty s) then current := s
+           targeting this node.  [c - 1 available to t] is a left shift
+           of t's availability mask, [c + 1] a right shift. *)
+        let keep_if_nonempty s =
+          if s land !current <> 0 then current := s land !current
         in
         List.iter
           (fun (p, r) ->
             if r = Defer then
               match p.Rpg.target with
-              | Rpg.Coalesce t ->
-                  let av_t = available t in
-                  keep_if_nonempty (fun c -> Reg.Set.mem c av_t)
+              | Rpg.Coalesce t -> keep_if_nonempty (available t)
               | Rpg.Seq_plus t ->
                   (* n wants reg(t)+1: keep c with c-1 available to t. *)
-                  let av_t = available t in
-                  keep_if_nonempty (fun c ->
-                      match shifted c (-1) with
-                      | Some c' -> Reg.Set.mem c' av_t
-                      | None -> false)
-              | Rpg.Seq_minus t ->
-                  let av_t = available t in
-                  keep_if_nonempty (fun c ->
-                      match shifted c 1 with
-                      | Some c' -> Reg.Set.mem c' av_t
-                      | None -> false)
+                  keep_if_nonempty (available t lsl 1 land all_mask)
+              | Rpg.Seq_minus t -> keep_if_nonempty (available t lsr 1)
               | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
           resolved;
         List.iter
           (fun (u, (p : Rpg.pref)) ->
-            if Reg.is_virtual u && color_of u = None
-               && not (Reg.Set.mem u !spilled)
+            if
+              Reg.is_virtual u
+              && color_idx.(nidx u) < 0
+              && not (Regbits.Set.mem spilled_bits (nidx u))
             then
-              let av_u = available u in
               match p.Rpg.target with
-              | Rpg.Coalesce _ ->
-                  keep_if_nonempty (fun c -> Reg.Set.mem c av_u)
+              | Rpg.Coalesce _ -> keep_if_nonempty (available u)
               | Rpg.Seq_plus _ ->
-                  (* u wants reg(n)+1. *)
-                  keep_if_nonempty (fun c ->
-                      match shifted c 1 with
-                      | Some c' -> Reg.Set.mem c' av_u
-                      | None -> false)
+                  (* u wants reg(n)+1: keep c with c+1 available to u. *)
+                  keep_if_nonempty (available u lsr 1)
               | Rpg.Seq_minus _ ->
-                  keep_if_nonempty (fun c ->
-                      match shifted c (-1) with
-                      | Some c' -> Reg.Set.mem c' av_u
-                      | None -> false)
+                  keep_if_nonempty (available u lsl 1 land all_mask)
               | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
           (Rpg.incoming rpg n);
-        (* Step 4.4: deterministic final pick. *)
-        let score c =
-          if fallback_nonvolatile_first then
-            if Machine.is_volatile m c then 0 else 1
-          else
-            Strength.weight_for
-              ~volatile:(Machine.is_volatile m c)
-              (Strength.volatility str n)
+        (* Step 4.4: deterministic final pick — ascending scan keeps the
+           lowest register among score ties. *)
+        let volw = Strength.volatility str n in
+        let score j =
+          let volatile = vol_mask.(ncls) land (1 lsl j) <> 0 in
+          if fallback_nonvolatile_first then if volatile then 0 else 1
+          else Strength.weight_for ~volatile volw
         in
-        let choice =
-          Reg.Set.fold
-            (fun c acc ->
-              match acc with
-              | None -> Some c
-              | Some b ->
-                  if
-                    score c > score b
-                    || (score c = score b && Reg.compare c b < 0)
-                  then Some c
-                  else acc)
-            !current None
-        in
-        match choice with
-        | Some c ->
-            Reg.Tbl.replace colors n c;
-            finish n
-        | None -> spill n
+        let choice = ref (-1) and best_score = ref min_int in
+        for j = 0 to k - 1 do
+          if !current land (1 lsl j) <> 0 && score j > !best_score then begin
+            choice := j;
+            best_score := score j
+          end
+        done;
+        if !choice >= 0 then begin
+          color_idx.(i) <- !choice;
+          Reg.Tbl.replace colors n (Reg.phys cls !choice);
+          finish n
+        end
+        else spill n
       end
     end
   in
@@ -347,4 +502,8 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         loop ()
   in
   loop ();
-  { colors; spilled = !spilled; stats = !stats }
+  {
+    colors;
+    spilled = Regbits.Set.to_reg_set cpt spilled_bits;
+    stats = !stats;
+  }

@@ -1,3 +1,13 @@
+(* Dense RPG.
+
+   Nodes are indices of a compact numbering — the interference graph's
+   numbering when the caller passes [?cpt] (the PDGC pipeline does), a
+   private one otherwise.  Out- and in-edges live in plain arrays
+   indexed by node; [prefs] used to re-sort the stored list on every
+   call, so the build now sorts each out-edge list once at the end
+   (stable sort over the same construction order — identical result,
+   amortized to build time). *)
+
 type ptype =
   | Coalesce of Reg.t
   | Seq_plus of Reg.t
@@ -9,8 +19,11 @@ type ptype =
 type pref = { target : ptype; weight : Strength.weight; instr_id : int option }
 
 type t = {
-  out_edges : pref list Reg.Tbl.t;
-  in_edges : (Reg.t * pref) list Reg.Tbl.t;
+  cpt : Regbits.compact;
+  mutable cap : int;
+  mutable out_edges : pref list array; (* strongest first after build *)
+  mutable in_edges : (Reg.t * pref) list array; (* construction order *)
+  mutable out_nodes : int list; (* indices with out-edges, for pp *)
   pair_list : (int * Reg.t * Reg.t) list;
   str : Strength.t;
 }
@@ -21,14 +34,16 @@ let strength _str p =
   | Coalesce _ | Seq_plus _ | Seq_minus _ | Kind | In_limited ->
       Strength.best p.weight
 
+let find_idx t r =
+  match Regbits.find t.cpt r with
+  | Some i when i < t.cap -> Some i
+  | Some _ | None -> None
+
 let prefs t r =
-  match Reg.Tbl.find_opt t.out_edges r with
-  | Some ps ->
-      List.sort (fun a b -> compare (strength t.str b) (strength t.str a)) ps
-  | None -> []
+  match find_idx t r with Some i -> t.out_edges.(i) | None -> []
 
 let incoming t r =
-  match Reg.Tbl.find_opt t.in_edges r with Some l -> l | None -> []
+  match find_idx t r with Some i -> t.in_edges.(i) | None -> []
 
 let pairs t = t.pair_list
 
@@ -51,19 +66,47 @@ let paired_candidates (fn : Cfg.func) =
   in
   List.concat_map (fun (b : Cfg.block) -> scan [] b.Cfg.instrs) fn.Cfg.blocks
 
-let build ?(kinds = `All) (_m : Machine.t) (fn : Cfg.func) (str : Strength.t) =
-  let out_edges = Reg.Tbl.create 128 in
-  let in_edges = Reg.Tbl.create 128 in
+let build ?(kinds = `All) ?cpt (_m : Machine.t) (fn : Cfg.func)
+    (str : Strength.t) =
+  let cpt = match cpt with Some c -> c | None -> Regbits.create () in
+  let t =
+    {
+      cpt;
+      cap = 0;
+      out_edges = [||];
+      in_edges = [||];
+      out_nodes = [];
+      pair_list = [];
+      str;
+    }
+  in
+  let grow needed =
+    let cap = max needed (max 16 (2 * t.cap)) in
+    let out_edges = Array.make cap [] in
+    let in_edges = Array.make cap [] in
+    Array.blit t.out_edges 0 out_edges 0 t.cap;
+    Array.blit t.in_edges 0 in_edges 0 t.cap;
+    t.out_edges <- out_edges;
+    t.in_edges <- in_edges;
+    t.cap <- cap
+  in
+  grow (max 16 (Regbits.size cpt));
+  let idx r =
+    let i = Regbits.index t.cpt r in
+    if i >= t.cap then grow (i + 1);
+    i
+  in
   let add_out r p =
     if Reg.is_virtual r then begin
-      let cur = try Reg.Tbl.find out_edges r with Not_found -> [] in
-      Reg.Tbl.replace out_edges r (p :: cur)
+      let i = idx r in
+      if t.out_edges.(i) = [] then t.out_nodes <- i :: t.out_nodes;
+      t.out_edges.(i) <- p :: t.out_edges.(i)
     end
   in
   let add_in target src p =
     if Reg.is_virtual target then begin
-      let cur = try Reg.Tbl.find in_edges target with Not_found -> [] in
-      Reg.Tbl.replace in_edges target ((src, p) :: cur)
+      let i = idx target in
+      t.in_edges.(i) <- (src, p) :: t.in_edges.(i)
     end
   in
   (* Coalesce edges from every copy, in both directions. *)
@@ -145,7 +188,18 @@ let build ?(kinds = `All) (_m : Machine.t) (fn : Cfg.func) (str : Strength.t) =
             })
       (Cfg.all_vregs fn)
   end;
-  { out_edges; in_edges; pair_list = !pair_list; str }
+  (* Sort every out-edge list strongest-first, once.  [List.sort] is
+     stable and the lists were constructed in the same order as the
+     tree-based version stored them, so per-call sorting and this
+     single build-time sort agree edge for edge. *)
+  List.iter
+    (fun i ->
+      t.out_edges.(i) <-
+        List.sort
+          (fun a b -> compare (strength str b) (strength str a))
+          t.out_edges.(i))
+    t.out_nodes;
+  { t with pair_list = !pair_list }
 
 let pp_ptype ppf = function
   | Coalesce r -> Format.fprintf ppf "coalesce %a" Reg.pp r
@@ -155,22 +209,24 @@ let pp_ptype ppf = function
   | In_limited -> Format.pp_print_string ppf "limited"
   | Memory -> Format.pp_print_string ppf "memory"
 
+let iter_out t f =
+  List.iter
+    (fun i -> f (Regbits.reg_at t.cpt i) t.out_edges.(i))
+    (List.rev t.out_nodes)
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
-  Reg.Tbl.iter
-    (fun r ps ->
+  iter_out t (fun r ps ->
       List.iter
         (fun p ->
           Format.fprintf ppf "%a --[%a]--> %a@ " Reg.pp r Strength.pp_weight
             p.weight pp_ptype p.target)
-        ps)
-    t.out_edges;
+        ps);
   Format.fprintf ppf "@]"
 
 let to_dot ?(name = Reg.to_string) ppf t =
   Format.fprintf ppf "digraph rpg {@.";
-  Reg.Tbl.iter
-    (fun r ps ->
+  iter_out t (fun r ps ->
       List.iter
         (fun p ->
           let w = Format.asprintf "%a" Strength.pp_weight p.weight in
@@ -198,6 +254,5 @@ let to_dot ?(name = Reg.to_string) ppf t =
               Format.fprintf ppf
                 "  \"%s\" -> \"memory\" [style=dotted,label=\"%s\"];@."
                 (name r) w)
-        ps)
-    t.out_edges;
+        ps);
   Format.fprintf ppf "}@."

@@ -34,6 +34,7 @@ val strength : Strength.t -> pref -> int
 
 val build :
   ?kinds:[ `All | `Coalesce_only ] ->
+  ?cpt:Regbits.compact ->
   Machine.t ->
   Cfg.func ->
   Strength.t ->
@@ -41,7 +42,10 @@ val build :
 (** Scan the body for copies, paired-load candidates and limited
     operations, and attach volatility/memory preferences to every live
     range.  [`Coalesce_only] restricts the graph to coalesce edges (the
-    paper's "only coalescing" configuration). *)
+    paper's "only coalescing" configuration).  [cpt] shares a compact
+    numbering (normally the interference graph's) so the PDGC pipeline
+    indexes one node space; a private numbering is used otherwise.
+    Queries remain [Reg.t]-typed either way. *)
 
 val prefs : t -> Reg.t -> pref list
 (** Out-edges of a node, strongest first. *)

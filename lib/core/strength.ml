@@ -13,10 +13,7 @@ type t = {
   defs_at : (int, Reg.Set.t) Hashtbl.t; (* instr id -> defined registers *)
 }
 
-let create (fn : Cfg.func) =
-  let costs = Spill_cost.compute fn in
-  let live = Liveness.compute fn in
-  let loops = Loops.compute fn in
+let build (fn : Cfg.func) ~costs ~live ~loops =
   let crossings = Reg.Tbl.create 64 in
   let freq = Hashtbl.create 256 in
   let last_use = Hashtbl.create 64 in
@@ -57,6 +54,16 @@ let create (fn : Cfg.func) =
              | _ -> ())))
     fn.Cfg.blocks;
   { costs; crossings; freq; last_use; defs_at }
+
+let create (fn : Cfg.func) =
+  let loops = Loops.compute fn in
+  build fn
+    ~costs:(Spill_cost.compute ~loops fn)
+    ~live:(Liveness.compute fn) ~loops
+
+let of_analysis (a : Alloc_common.analysis) =
+  build a.Alloc_common.fn ~costs:a.Alloc_common.costs ~live:a.Alloc_common.live
+    ~loops:a.Alloc_common.loops
 
 let spill_cost t r = Spill_cost.spill_cost t.costs r
 let crossings t r = try Reg.Tbl.find t.crossings r with Not_found -> 0

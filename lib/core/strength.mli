@@ -29,6 +29,10 @@ type t
 
 val create : Cfg.func -> t
 
+val of_analysis : Alloc_common.analysis -> t
+(** Same result as [create] on the context's function, reusing its
+    already-computed spill costs, liveness and loop forest. *)
+
 val spill_cost : t -> Reg.t -> int
 val crossings : t -> Reg.t -> int
 (** Frequency-weighted count of calls the register is live across. *)

@@ -24,6 +24,47 @@ exception Failed of string
 
 let max_rounds = 64
 
+(* Per-round analysis context.  Every allocator's round loop needs the
+   same pipeline over the same renumbered body — loop forest, liveness,
+   interference graph, spill costs — and several used to re-derive
+   pieces of it (the loop forest alone was computed up to three times a
+   round, hidden inside spill-cost and strength estimation).  Compute
+   once, thread explicitly. *)
+type analysis = {
+  fn : Cfg.func;
+  live : Liveness.t;
+  graph : Igraph.t;
+  costs : Spill_cost.t;
+  loops : Loops.t;
+}
+
+let analyze fn =
+  let loops = Loops.compute fn in
+  let live = Liveness.compute fn in
+  let graph = Igraph.build fn live in
+  let costs = Spill_cost.compute ~loops fn in
+  { fn; live; graph; costs; loops }
+
+(* Spill temporaries survive web renumbering: a web register is a
+   temporary iff its origin register was.  One hash probe per web —
+   the old [Reg.Set]-based rebuild scanned the whole temporary
+   population per web. *)
+let remap_temps (webs : Webs.t) temps =
+  let out = Reg.Tbl.create 64 in
+  Reg.Tbl.iter
+    (fun w orig -> if Reg.Tbl.mem temps orig then Reg.Tbl.replace out w ())
+    webs.Webs.origin;
+  out
+
+(* Registers at or above the spill-insertion watermark are the
+   temporaries the new spill code introduced. *)
+let add_spill_temps temps (ins : Spill_insert.result) =
+  Reg.Set.iter
+    (fun r ->
+      if r >= ins.Spill_insert.temp_watermark then Reg.Tbl.replace temps r ())
+    (Cfg.all_vregs ins.Spill_insert.func);
+  temps
+
 (* Pick the blocked node minimizing Chaitin's cost/degree metric. *)
 let choose_victim costs g ~no_spill blocked =
   let metric = Spill_cost.chaitin_metric costs g ~no_spill in
@@ -53,22 +94,15 @@ let allocate config (m : Machine.t) (f0 : Cfg.func) =
       raise (Failed (Printf.sprintf "%s: too many rounds" config.name));
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
-    (* Registers renaming spill temporaries are themselves spill
-       temporaries. *)
-    let temps =
-      Reg.Tbl.fold
-        (fun w orig acc ->
-          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
-        webs.Webs.origin Reg.Set.empty
-    in
-    let live = Liveness.compute fn in
-    let g = Igraph.build fn live in
+    let temps = remap_temps webs temps in
+    let a = analyze fn in
+    let g = a.graph in
     (match config.coalesce with
     | No_coalesce -> ()
     | Aggressive -> ignore (Coalesce.aggressive g)
     | Conservative -> ignore (Coalesce.conservative ~k:m.Machine.k g));
-    let costs = Spill_cost.compute fn in
-    let no_spill r = Reg.Set.mem r temps in
+    let costs = a.costs in
+    let no_spill r = Reg.Tbl.mem temps r in
     let simp =
       Simplify.run config.mode ~k:m.Machine.k g
         ~spill_choice:(choose_victim costs g ~no_spill)
@@ -84,12 +118,7 @@ let allocate config (m : Machine.t) (f0 : Cfg.func) =
         |> Reg.Set.union spilled
       in
       let ins = Spill_insert.insert fn spilled in
-      let temps =
-        Reg.Set.union temps
-          (Reg.Set.filter
-             (fun r -> r >= ins.Spill_insert.temp_watermark)
-             (Cfg.all_vregs ins.Spill_insert.func))
-      in
+      let temps = add_spill_temps temps ins in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
         ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
@@ -118,7 +147,7 @@ let allocate config (m : Machine.t) (f0 : Cfg.func) =
         { func = fn; alloc; rounds = n; spill_instrs; spill_slots }
       end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+  round f0 ~temps:(Reg.Tbl.create 16) ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let check_complete (m : Machine.t) (res : result) =
   let fn = res.func in

@@ -47,6 +47,32 @@ exception Failed of string
 (** Raised when allocation cannot make progress (eg. a spill temporary
     itself fails to color), or the round budget is exhausted. *)
 
+(** {2 Per-round analysis context}
+
+    One round of any allocator runs the same analysis pipeline over the
+    renumbered body.  [analyze] computes it once; round loops thread the
+    record instead of re-deriving pieces (the loop forest in particular
+    used to be recomputed inside spill-cost and strength estimation). *)
+
+type analysis = {
+  fn : Cfg.func;
+  live : Liveness.t;
+  graph : Igraph.t;
+  costs : Spill_cost.t;
+  loops : Loops.t;
+}
+
+val analyze : Cfg.func -> analysis
+
+val remap_temps : Webs.t -> unit Reg.Tbl.t -> unit Reg.Tbl.t
+(** Carry the spill-temporary set across a web renumbering: a web
+    register is a temporary iff its origin was.  O(webs) — one hash
+    probe per web. *)
+
+val add_spill_temps : unit Reg.Tbl.t -> Spill_insert.result -> unit Reg.Tbl.t
+(** Mark the temporaries the given spill insertion introduced (registers
+    at or above its watermark) and return the same table. *)
+
 val allocate : config -> Machine.t -> Cfg.func -> result
 
 val check_complete : Machine.t -> result -> unit

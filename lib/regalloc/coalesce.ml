@@ -20,21 +20,34 @@ let aggressive g =
     (Igraph.moves g);
   !merges
 
+(* Count distinct significant neighbors of the union with a scratch
+   bitset instead of materializing a [Reg.Set]. *)
 let briggs_ok ~k g a b =
-  let a = Igraph.alias g a and b = Igraph.alias g b in
-  let significant =
-    let add acc n =
-      if Igraph.degree g n >= k then Reg.Set.add n acc else acc
-    in
-    Igraph.fold_adj g b ~f:add ~init:(Igraph.fold_adj g a ~f:add ~init:Reg.Set.empty)
+  let ia = Igraph.index_of g a and ib = Igraph.index_of g b in
+  let seen = Regbits.Set.create (Regbits.size (Igraph.compact g)) in
+  let count = ref 0 in
+  let add n =
+    if Igraph.degree_idx g n >= k && not (Regbits.Set.mem seen n) then begin
+      Regbits.Set.add seen n;
+      incr count
+    end
   in
-  Reg.Set.cardinal significant < k
+  Igraph.iter_adj_idx g ia add;
+  if ib <> ia then Igraph.iter_adj_idx g ib add;
+  !count < k
 
 let george_ok ~k g a b =
-  let a = Igraph.alias g a and b = Igraph.alias g b in
-  Igraph.fold_adj g a ~init:true ~f:(fun ok n ->
-      ok
-      && (Igraph.degree g n < k || Reg.is_phys n || Igraph.interferes g n b))
+  let ia = Igraph.index_of g a and ib = Igraph.index_of g b in
+  let ok = ref true in
+  Igraph.iter_adj_idx g ia (fun n ->
+      if
+        !ok
+        && not
+             (Igraph.degree_idx g n < k
+             || Reg.is_phys (Igraph.reg_of g n)
+             || Igraph.interferes_idx g n ib)
+      then ok := false);
+  !ok
 
 let conservative ~k g =
   let merges = ref 0 in

@@ -6,16 +6,28 @@ let color_of t g r =
   let rep = Igraph.alias g r in
   if Reg.is_phys rep then Some rep else Reg.Tbl.find_opt t.colors rep
 
+(* Neighbors all share [rep]'s class, so colors can be screened through
+   a within-class bitmask instead of a materialized set.  Machine files
+   wider than the word fall back to an overflow set for the high
+   registers (none of the modeled machines need it). *)
 let available m g t r =
   let rep = Igraph.alias g r in
   let cls = Igraph.cls g rep in
-  let forbidden =
-    Igraph.fold_adj g rep ~init:Reg.Set.empty ~f:(fun acc n ->
-        match color_of t g n with
-        | Some c -> Reg.Set.add c acc
-        | None -> acc)
-  in
-  List.filter (fun c -> not (Reg.Set.mem c forbidden)) (Machine.all m cls)
+  let forbidden = ref 0 in
+  let overflow = ref Reg.Set.empty in
+  Igraph.iter_adj g rep (fun n ->
+      match color_of t g n with
+      | Some c ->
+          let j = Reg.phys_index c in
+          if j < Sys.int_size - 1 then forbidden := !forbidden lor (1 lsl j)
+          else overflow := Reg.Set.add c !overflow
+      | None -> ());
+  List.filter
+    (fun c ->
+      let j = Reg.phys_index c in
+      (if j < Sys.int_size - 1 then !forbidden land (1 lsl j) = 0 else true)
+      && not (Reg.Set.mem c !overflow))
+    (Machine.all m cls)
 
 let reorder m order regs =
   let vol, nonvol = List.partition (Machine.is_volatile m) regs in

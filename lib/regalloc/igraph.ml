@@ -108,6 +108,13 @@ let alias t r = Regbits.reg_at t.cpt (root t (idx t r))
 let is_node t r = t.present.(root t (idx t r))
 let reg_is_phys t i = Reg.is_phys (Regbits.reg_at t.cpt i)
 
+(* Dense sub-API: expose the shared numbering so the PDGC core (Rpg,
+   Cpg, Pdgc_select) and the simplify/coalesce phases can run on the
+   same indices without re-interning. *)
+let compact t = t.cpt
+let index_of t r = root t (idx t r)
+let reg_of t i = Regbits.reg_at t.cpt i
+
 (* Indices must be roots. *)
 let add_edge_idx t a b =
   if
@@ -143,6 +150,12 @@ let degree t r =
 let iter_adj t r f =
   let i = root t (idx t r) in
   Regbits.Vec.iter t.adjv.(i) (fun n -> f (Regbits.reg_at t.cpt n))
+
+(* [i] must be a root index (as returned by [index_of]). *)
+let iter_adj_idx t i f = Regbits.Vec.iter t.adjv.(i) f
+
+let degree_idx t i = if reg_is_phys t i then infinite_degree else t.deg.(i)
+let interferes_idx t a b = Regbits.Set.mem t.bits.(a) b
 
 let fold_adj t r ~init ~f =
   let i = root t (idx t r) in

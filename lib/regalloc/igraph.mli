@@ -50,6 +50,32 @@ val fold_adj : t -> Reg.t -> init:'a -> f:('a -> Reg.t -> 'a) -> 'a
 val degree : t -> Reg.t -> int
 (** [infinite_degree] for physical registers. *)
 
+(** {2 Dense sub-API}
+
+    The graph's nodes are indices of the liveness compact numbering;
+    these entry points expose that numbering so downstream phases (the
+    PDGC core, simplify, coalesce) can keep per-node state in plain
+    arrays indexed by the same integers.  All public query results stay
+    [Reg.t]-typed; the index view is a performance door, not a second
+    interface. *)
+
+val compact : t -> Regbits.compact
+(** The shared per-function numbering (same object as
+    [Liveness.compact] of the liveness the graph was built from). *)
+
+val index_of : t -> Reg.t -> int
+(** Root (merge-representative) index of a register, interning it if
+    unseen.  Stable until the next [merge] involving the node. *)
+
+val reg_of : t -> int -> Reg.t
+(** Inverse of the numbering; [i] must be a valid index. *)
+
+val iter_adj_idx : t -> int -> (int -> unit) -> unit
+(** [iter_adj] over indices; [i] must be a root index. *)
+
+val degree_idx : t -> int -> int
+val interferes_idx : t -> int -> int -> bool
+
 val infinite_degree : int
 
 val moves : t -> move list

@@ -31,7 +31,7 @@ type state = {
   mutable select_stack : Reg.t list;
   mutable spilled : Reg.Set.t;
   costs : Spill_cost.t;
-  temps : Reg.Set.t;
+  temps : unit Reg.Tbl.t;
 }
 
 let stage_of st r =
@@ -232,7 +232,7 @@ let freeze st =
 
 let select_spill st =
   let metric r =
-    if Reg.Set.mem r st.temps then infinity
+    if Reg.Tbl.mem st.temps r then infinity
     else
       float_of_int (Spill_cost.spill_cost st.costs r)
       /. float_of_int (max 1 (degree_of st r))
@@ -316,9 +316,10 @@ let assign_colors st =
         | _ -> st.spilled <- Reg.Set.add n st.spilled)
     (Reg.Tbl.copy st.stage)
 
-let run_once (m : Machine.t) fn ~temps ~costs =
-  let live = Liveness.compute fn in
-  let g = Igraph.build fn live in
+let run_once (m : Machine.t) (a : Alloc_common.analysis) ~temps =
+  let fn = a.Alloc_common.fn in
+  let g = a.Alloc_common.graph in
+  let costs = a.Alloc_common.costs in
   let st =
     {
       k = m.Machine.k;
@@ -430,14 +431,8 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     if n > 64 then raise (Alloc_common.Failed "iterated: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
-    let temps =
-      Reg.Tbl.fold
-        (fun w orig acc ->
-          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
-        webs.Webs.origin Reg.Set.empty
-    in
-    let costs = Spill_cost.compute fn in
-    let st = run_once m fn ~temps ~costs in
+    let temps = Alloc_common.remap_temps webs temps in
+    let st = run_once m (Alloc_common.analyze fn) ~temps in
     if Reg.Set.is_empty st.spilled then begin
       let alloc = Reg.Tbl.create 64 in
       Reg.Set.iter
@@ -453,17 +448,12 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     end
     else begin
       let ins = Spill_insert.insert fn st.spilled in
-      let temps =
-        Reg.Set.union temps
-          (Reg.Set.filter
-             (fun r -> r >= ins.Spill_insert.temp_watermark)
-             (Cfg.all_vregs ins.Spill_insert.func))
-      in
+      let temps = Alloc_common.add_spill_temps temps ins in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
         ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+  round f0 ~temps:(Reg.Tbl.create 16) ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let allocator = Allocator.v ~name:"iterated" ~label:"iterated" allocate

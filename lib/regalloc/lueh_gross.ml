@@ -3,8 +3,7 @@ let name = "aggressive+volatility"
 type benefits = { volatile_benefit : int; nonvolatile_benefit : int }
 
 (* Frequency-weighted number of calls each register is live across. *)
-let weighted_crossings (fn : Cfg.func) live =
-  let loops = Loops.compute fn in
+let weighted_crossings (fn : Cfg.func) live ~loops =
   let crossings = Reg.Tbl.create 64 in
   List.iter
     (fun (b : Cfg.block) ->
@@ -32,9 +31,8 @@ let weighted_crossings (fn : Cfg.func) live =
     fn.Cfg.blocks;
   crossings
 
-let benefits_of fn live =
-  let costs = Spill_cost.compute fn in
-  let crossings = weighted_crossings fn live in
+let benefits_of fn live ~costs ~loops =
+  let crossings = weighted_crossings fn live ~loops in
   let tbl = Reg.Tbl.create 64 in
   Reg.Set.iter
     (fun r ->
@@ -49,7 +47,10 @@ let benefits_of fn live =
   tbl
 
 let compute_benefits (_m : Machine.t) (fn : Cfg.func) =
+  let loops = Loops.compute fn in
   benefits_of fn (Liveness.compute fn)
+    ~costs:(Spill_cost.compute ~loops fn)
+    ~loops
 
 let allocate (m : Machine.t) (f0 : Cfg.func) =
   let f0 = Cfg.clone f0 in
@@ -58,17 +59,13 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       raise (Alloc_common.Failed "aggressive+volatility: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
-    let temps =
-      Reg.Tbl.fold
-        (fun w orig acc ->
-          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
-        webs.Webs.origin Reg.Set.empty
-    in
-    let live = Liveness.compute fn in
-    let g = Igraph.build fn live in
+    let temps = Alloc_common.remap_temps webs temps in
+    let a = Alloc_common.analyze fn in
+    let live = a.Alloc_common.live in
+    let g = a.Alloc_common.graph in
     ignore (Coalesce.aggressive g);
-    let costs = Spill_cost.compute fn in
-    let benefits = benefits_of fn live in
+    let costs = a.Alloc_common.costs in
+    let benefits = benefits_of fn live ~costs ~loops:a.Alloc_common.loops in
     (* Benefits of a merge representative: sum over its members. *)
     let group_benefit =
       let cache = Reg.Tbl.create 64 in
@@ -136,7 +133,9 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     (* Benefit-driven Chaitin simplification: among removable nodes,
        push the lowest-priority one first. *)
     let no_spill rep =
-      Reg.Set.exists (fun w -> Reg.equal (Igraph.alias g w) rep) temps
+      Reg.Tbl.fold
+        (fun w () acc -> acc || Reg.equal (Igraph.alias g w) rep)
+        temps false
     in
     let nodes = Igraph.vnodes g in
     let degree = Reg.Tbl.create 64 in
@@ -198,12 +197,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
         |> Reg.Set.union spilled
       in
       let ins = Spill_insert.insert fn spilled in
-      let temps =
-        Reg.Set.union temps
-          (Reg.Set.filter
-             (fun r -> r >= ins.Spill_insert.temp_watermark)
-             (Cfg.all_vregs ins.Spill_insert.func))
-      in
+      let temps = Alloc_common.add_spill_temps temps ins in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
         ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
@@ -279,7 +273,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       end
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+  round f0 ~temps:(Reg.Tbl.create 16) ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let allocator =
   Allocator.v ~name:"lueh-gross" ~label:"aggressive+volatility" allocate

@@ -12,17 +12,12 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     if n > 64 then raise (Alloc_common.Failed "optimistic: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
-    let temps =
-      Reg.Tbl.fold
-        (fun w orig acc ->
-          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
-        webs.Webs.origin Reg.Set.empty
-    in
-    let live = Liveness.compute fn in
-    let g0 = Igraph.build fn live in
+    let temps = Alloc_common.remap_temps webs temps in
+    let a = Alloc_common.analyze fn in
+    let g0 = a.Alloc_common.graph in
     let g = Igraph.copy g0 in
     ignore (Coalesce.aggressive g);
-    let costs = Spill_cost.compute fn in
+    let costs = a.Alloc_common.costs in
     (* Member webs of every merge representative. *)
     let groups : Reg.t list Reg.Tbl.t = Reg.Tbl.create 64 in
     let add_member rep r =
@@ -32,7 +27,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     List.iter (fun r -> add_member (Igraph.alias g r) r) (Igraph.vnodes g0);
     (* Optimistic simplification of the merged graph. *)
     let no_spill r =
-      List.exists (fun w -> Reg.Set.mem w temps)
+      List.exists (fun w -> Reg.Tbl.mem temps w)
         (try Reg.Tbl.find groups r with Not_found -> [ r ])
     in
     let simp =
@@ -155,17 +150,12 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     end
     else begin
       let ins = Spill_insert.insert fn !spilled in
-      let temps =
-        Reg.Set.union temps
-          (Reg.Set.filter
-             (fun r -> r >= ins.Spill_insert.temp_watermark)
-             (Cfg.all_vregs ins.Spill_insert.func))
-      in
+      let temps = Alloc_common.add_spill_temps temps ins in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
         ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+  round f0 ~temps:(Reg.Tbl.create 16) ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let allocator = Allocator.v ~name:"optimistic" ~label:"optimistic" allocate

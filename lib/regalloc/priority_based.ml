@@ -7,21 +7,16 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
       raise (Alloc_common.Failed "priority-based: too many rounds");
     let webs = Webs.run fn in
     let fn = webs.Webs.func in
-    let temps =
-      Reg.Tbl.fold
-        (fun w orig acc ->
-          if Reg.Set.mem orig temps then Reg.Set.add w acc else acc)
-        webs.Webs.origin Reg.Set.empty
-    in
-    let live = Liveness.compute fn in
-    let g = Igraph.build fn live in
-    let costs = Spill_cost.compute fn in
+    let temps = Alloc_common.remap_temps webs temps in
+    let a = Alloc_common.analyze fn in
+    let g = a.Alloc_common.graph in
+    let costs = a.Alloc_common.costs in
     (* Chow-Hennessy priority: savings per unit of range size.  Spill
        temporaries must never spill again, so they outrank everything
        and are colored first.  Ties break on the register id so the
        coloring order does not depend on graph iteration order. *)
     let priority r =
-      if Reg.Set.mem r temps then infinity
+      if Reg.Tbl.mem temps r then infinity
       else
         let info = Spill_cost.info costs r in
         float_of_int info.Spill_cost.spill_cost
@@ -62,7 +57,7 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
         match nonvol @ vol with
         | c :: _ -> Reg.Tbl.replace colors r c
         | [] ->
-            if Reg.Set.mem r temps then
+            if Reg.Tbl.mem temps r then
               raise
                 (Alloc_common.Failed "priority-based: spill temporary blocked")
             else spilled := Reg.Set.add r !spilled)
@@ -82,17 +77,12 @@ let allocate (m : Machine.t) (f0 : Cfg.func) =
     end
     else begin
       let ins = Spill_insert.insert fn !spilled in
-      let temps =
-        Reg.Set.union temps
-          (Reg.Set.filter
-             (fun r -> r >= ins.Spill_insert.temp_watermark)
-             (Cfg.all_vregs ins.Spill_insert.func))
-      in
+      let temps = Alloc_common.add_spill_temps temps ins in
       round ins.Spill_insert.func ~temps ~n:(n + 1)
         ~spill_instrs:(spill_instrs + ins.Spill_insert.n_spill_instrs)
         ~spill_slots:(spill_slots @ ins.Spill_insert.slots)
     end
   in
-  round f0 ~temps:Reg.Set.empty ~n:1 ~spill_instrs:0 ~spill_slots:[]
+  round f0 ~temps:(Reg.Tbl.create 16) ~n:1 ~spill_instrs:0 ~spill_slots:[]
 
 let allocator = Allocator.v ~name:"priority" ~label:"priority-based" allocate

@@ -6,55 +6,67 @@ type result = {
   forced_spills : Reg.Set.t;
 }
 
+(* Degrees and presence live in plain arrays over the graph's compact
+   indices; the worklist queue carries indices.  [present] is kept as a
+   register table alongside the array because the blocked-candidate
+   list is built by folding it, and the fold's (hash) order feeds the
+   spill heuristic's tie-breaking — the table sees the same inserts and
+   removals in the same order as before, so that order is preserved. *)
 let run mode ~k g ~spill_choice ?(never_spill = fun _ -> false) () =
   let nodes = Igraph.vnodes g in
-  let degree = Reg.Tbl.create 64 in
+  let n_idx = List.map (Igraph.index_of g) nodes in
+  let size = max 16 (Regbits.size (Igraph.compact g)) in
+  let degree = Array.make size 0 in
+  let present_idx = Array.make size false in
   let present = Reg.Tbl.create 64 in
-  List.iter
-    (fun r ->
-      Reg.Tbl.replace degree r (Igraph.degree g r);
+  List.iter2
+    (fun r i ->
+      degree.(i) <- Igraph.degree_idx g i;
+      present_idx.(i) <- true;
       Reg.Tbl.replace present r ())
-    nodes;
-  let deg r = try Reg.Tbl.find degree r with Not_found -> Igraph.infinite_degree in
+    nodes n_idx;
   let low = Queue.create () in
-  List.iter (fun r -> if deg r < k then Queue.add r low) nodes;
+  List.iter (fun i -> if degree.(i) < k then Queue.add i low) n_idx;
   let stack = ref [] in
   let potential = ref Reg.Set.empty in
   let forced = ref Reg.Set.empty in
   let remaining = ref (List.length nodes) in
-  let remove r =
+  let remove r i =
     Reg.Tbl.remove present r;
+    present_idx.(i) <- false;
     decr remaining;
-    Igraph.iter_adj g r (fun n ->
-        if Reg.Tbl.mem present n then begin
-          let d = deg n in
-          Reg.Tbl.replace degree n (d - 1);
+    Igraph.iter_adj_idx g i (fun n ->
+        if present_idx.(n) then begin
+          let d = degree.(n) in
+          degree.(n) <- d - 1;
           if d = k then Queue.add n low
         end)
   in
   while !remaining > 0 do
     match Queue.take_opt low with
-    | Some r when Reg.Tbl.mem present r && deg r < k ->
+    | Some i when present_idx.(i) && degree.(i) < k ->
+        let r = Igraph.reg_of g i in
         stack := r :: !stack;
-        remove r
+        remove r i
     | Some _ -> () (* stale entry *)
     | None -> (
         let blocked =
           Reg.Tbl.fold (fun r () acc -> r :: acc) present []
-          |> List.filter (fun r -> deg r >= k)
+          |> List.filter (fun r -> degree.(Igraph.index_of g r) >= k)
         in
         match blocked with
         | [] -> () (* only stale low entries remained; loop again *)
         | _ -> (
             let victim = spill_choice blocked in
+            let vi = Igraph.index_of g victim in
             match mode with
             | Chaitin when not (never_spill victim) ->
                 forced := Reg.Set.add victim !forced;
-                remove victim
+                remove victim vi
             | Chaitin | Optimistic ->
                 potential := Reg.Set.add victim !potential;
                 stack := victim :: !stack;
-                remove victim))
+                remove victim vi))
   done;
   { stack = !stack; potential_spills = !potential; forced_spills = !forced }
 

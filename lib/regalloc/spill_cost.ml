@@ -22,8 +22,8 @@ let site_op_cost = function
   | Instr.Ret _ | Instr.Phi _ ->
       Costs.op
 
-let compute (f : Cfg.func) =
-  let loops = Loops.compute f in
+let compute ?loops (f : Cfg.func) =
+  let loops = match loops with Some l -> l | None -> Loops.compute f in
   let tbl : t = Reg.Tbl.create 128 in
   let get r = try Reg.Tbl.find tbl r with Not_found -> zero in
   Cfg.iter_instrs f (fun b i ->

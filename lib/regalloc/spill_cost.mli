@@ -20,7 +20,9 @@ type info = {
 
 type t
 
-val compute : Cfg.func -> t
+val compute : ?loops:Loops.t -> Cfg.func -> t
+(** [loops] reuses an already-computed loop forest (the per-round
+    analysis context passes it); one is computed privately otherwise. *)
 
 val info : t -> Reg.t -> info
 (** Zero costs for a register that never occurs. *)
