@@ -1,6 +1,6 @@
 (* Minimal JSON validator for the bench trajectory files.
 
-   Usage: check_json.exe FILE
+   Usage: check_json.exe FILE [--prev PREV]
 
    Parses the file with a small recursive-descent JSON parser (no
    third-party dependency) and checks the bench schema, dispatching on
@@ -12,12 +12,23 @@
      whose rows each carry the per-mode wall-time fields ("jobs" >= 1
      and "wall_s") introduced by the multicore engine;
    - "pdgc-bench/2" and later: a "cores" count;
-   - "pdgc-bench/3": a non-empty "core" array of per-phase timing rows
-     (same shape as bechamel rows) for the dense PDGC core, and at
-     least one bechamel row that times a pdgc variant.
+   - "pdgc-bench/3" and later: a non-empty "core" array of per-phase
+     timing rows (same shape as bechamel rows) for the dense PDGC
+     core, and at least one bechamel row that times a pdgc variant;
+   - "pdgc-bench/4": the "core" array also carries the analysis-phase
+     rows (webs, liveness, igraph) alongside rpg/cpg/select.
+
+   With [--prev PREV], additionally diffs FILE against the previous
+   trajectory file PREV: every row recorded in both files (bechamel
+   and core rows keyed by name, suite_scale rows keyed by
+   workload/allocator/k/jobs) must not be more than 25% slower in
+   FILE.  Rows present in only one file are ignored, so schema
+   additions never break the diff.  Both files are expected to be
+   full (non-smoke) recordings from the same host.
 
    Exits non-zero — failing the @bench-smoke alias — on a parse or
-   schema error. *)
+   schema error, or on a >25% regression in a previously-recorded
+   row. *)
 
 type json =
   | Null
@@ -208,6 +219,7 @@ let check_schema = function
         | Some (Str "pdgc-bench/1") -> 1
         | Some (Str "pdgc-bench/2") -> 2
         | Some (Str "pdgc-bench/3") -> 3
+        | Some (Str "pdgc-bench/4") -> 4
         | Some (Str s) -> raise (Bad (Printf.sprintf "unknown schema %S" s))
         | Some _ -> raise (Bad "schema is not a string")
         | None -> 1
@@ -218,9 +230,15 @@ let check_schema = function
         | Num c when c >= 1.0 -> ()
         | _ -> raise (Bad "cores is not a positive number"));
       if version >= 3 then begin
-        ignore (timing_rows ~what:"core" (find "core"));
+        let core_names = timing_rows ~what:"core" (find "core") in
         if not (List.exists (fun n -> contains_sub n "pdgc") bechamel_names)
-        then raise (Bad "no pdgc-variant bechamel row")
+        then raise (Bad "no pdgc-variant bechamel row");
+        if version >= 4 then
+          List.iter
+            (fun phase ->
+              if not (List.exists (fun n -> contains_sub n phase) core_names)
+              then raise (Bad (Printf.sprintf "no %s core row" phase)))
+            [ "webs"; "liveness"; "igraph"; "rpg"; "cpg"; "select" ]
       end;
       (match find "suite_scale" with
       | Arr rows ->
@@ -247,20 +265,118 @@ let check_schema = function
       | _ -> raise (Bad "suite_scale is not an array"))
   | _ -> raise (Bad "top level is not an object")
 
-let () =
-  let file =
-    match Sys.argv with
-    | [| _; f |] -> f
-    | _ ->
-        prerr_endline "usage: check_json.exe FILE";
-        exit 2
+(* Flattens a trajectory file into comparable (key, metric) rows:
+   bechamel/core timings keyed by row name, suite-scale wall times
+   keyed by workload/allocator/k/jobs.  Rows with a null estimate are
+   dropped — there is nothing to compare. *)
+let metric_rows = function
+  | Obj fields ->
+      let rows = ref [] in
+      let timings section =
+        match List.assoc_opt section fields with
+        | Some (Arr entries) ->
+            List.iter
+              (function
+                | Obj r -> (
+                    match
+                      (List.assoc_opt "name" r, List.assoc_opt "ns_per_run" r)
+                    with
+                    | Some (Str name), Some (Num ns) ->
+                        rows := (section ^ ":" ^ name, ns) :: !rows
+                    | _ -> ())
+                | _ -> ())
+              entries
+        | _ -> ()
+      in
+      timings "bechamel";
+      timings "core";
+      (match List.assoc_opt "suite_scale" fields with
+      | Some (Arr entries) ->
+          List.iter
+            (function
+              | Obj r -> (
+                  let str k =
+                    match List.assoc_opt k r with Some (Str s) -> Some s | _ -> None
+                  in
+                  let num k =
+                    match List.assoc_opt k r with Some (Num f) -> Some f | _ -> None
+                  in
+                  match
+                    (str "workload", str "allocator", num "k", num "jobs",
+                     num "wall_s")
+                  with
+                  | Some w, Some a, Some k, Some j, Some wall ->
+                      let key =
+                        Printf.sprintf "suite_scale:%s:%s:k%d:jobs%d" w a
+                          (int_of_float k) (int_of_float j)
+                      in
+                      rows := (key, wall) :: !rows
+                  | _ -> ())
+              | _ -> ())
+            entries
+      | _ -> ());
+      List.rev !rows
+  | _ -> []
+
+(* Fails on any shared row that got more than [tolerance] slower. *)
+let diff_against_prev ~file ~prev_file cur prev =
+  let tolerance = 1.25 in
+  let prev_rows = metric_rows prev in
+  let regressions =
+    List.filter_map
+      (fun (key, cur_v) ->
+        match List.assoc_opt key prev_rows with
+        | Some prev_v when prev_v > 0.0 && cur_v > prev_v *. tolerance ->
+            Some (key, prev_v, cur_v)
+        | Some _ | None -> None)
+      (metric_rows cur)
   in
+  match regressions with
+  | [] ->
+      Printf.printf "%s: no >%.0f%% regression vs %s\n" file
+        ((tolerance -. 1.0) *. 100.0)
+        prev_file
+  | rs ->
+      List.iter
+        (fun (key, prev_v, cur_v) ->
+          Printf.eprintf "%s: %s regressed %.2fx (%.1f -> %.1f) vs %s\n" file
+            key (cur_v /. prev_v) prev_v cur_v prev_file)
+        rs;
+      exit 1
+
+let read_file file =
   let ic = open_in_bin file in
   let len = in_channel_length ic in
   let content = really_input_string ic len in
   close_in ic;
-  match check_schema (parse content) with
+  content
+
+let () =
+  let file, prev =
+    match Sys.argv with
+    | [| _; f |] -> (f, None)
+    | [| _; f; "--prev"; p |] -> (f, Some p)
+    | _ ->
+        prerr_endline "usage: check_json.exe FILE [--prev PREV]";
+        exit 2
+  in
+  let parsed =
+    match parse (read_file file) with
+    | v -> v
+    | exception Bad msg ->
+        Printf.eprintf "%s: invalid bench JSON: %s\n" file msg;
+        exit 1
+  in
+  (match check_schema parsed with
   | () -> Printf.printf "%s: valid bench JSON\n" file
   | exception Bad msg ->
       Printf.eprintf "%s: invalid bench JSON: %s\n" file msg;
-      exit 1
+      exit 1);
+  match prev with
+  | None -> ()
+  | Some prev_file -> (
+      match parse (read_file prev_file) with
+      | prev_parsed -> diff_against_prev ~file ~prev_file parsed prev_parsed
+      | exception Bad msg ->
+          Printf.eprintf "%s: invalid bench JSON: %s\n" prev_file msg;
+          exit 1)

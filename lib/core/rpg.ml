@@ -51,20 +51,27 @@ let pairs t = t.pair_list
    first destination not clobbering the shared base. *)
 let paired_candidates (fn : Cfg.func) =
   let word = 8 in
-  let rec scan acc = function
-    | ({ Instr.kind = Instr.Load l1; _ } as i1)
-      :: ({ Instr.kind = Instr.Load l2; _ } as i2)
-      :: rest
-      when Reg.equal l1.base l2.base
-           && l2.offset = l1.offset + word
-           && (not (Reg.equal l1.dst l2.dst))
-           && (not (Reg.equal l1.dst l1.base))
-           && Cfg.cls_of fn l1.dst = Cfg.cls_of fn l2.dst ->
-        scan ((i1, i2) :: acc) rest
-    | _ :: rest -> scan acc rest
-    | [] -> acc
-  in
-  List.concat_map (fun (b : Cfg.block) -> scan [] b.Cfg.instrs) fn.Cfg.blocks
+  List.concat_map
+    (fun (b : Cfg.block) ->
+      let instrs = b.Cfg.instrs in
+      let n = Array.length instrs in
+      let acc = ref [] in
+      let k = ref 0 in
+      while !k + 1 < n do
+        match (instrs.(!k), instrs.(!k + 1)) with
+        | ( ({ Instr.kind = Instr.Load l1; _ } as i1),
+            ({ Instr.kind = Instr.Load l2; _ } as i2) )
+          when Reg.equal l1.base l2.base
+               && l2.offset = l1.offset + word
+               && (not (Reg.equal l1.dst l2.dst))
+               && (not (Reg.equal l1.dst l1.base))
+               && Cfg.cls_of fn l1.dst = Cfg.cls_of fn l2.dst ->
+            acc := (i1, i2) :: !acc;
+            k := !k + 2
+        | _ -> incr k
+      done;
+      !acc)
+    fn.Cfg.blocks
 
 let build ?(kinds = `All) ?cpt (_m : Machine.t) (fn : Cfg.func)
     (str : Strength.t) =

@@ -8,7 +8,6 @@
 
 type t = {
   cpt : Regbits.compact;
-  rev : Cfg.Rev_memo.t;
   (* Backward solver tables: [input] is the fact at block exit (before
      the phi outflow is folded in), [output] the fact at block entry. *)
   exit_bits : (Instr.label, Regbits.Set.t) Hashtbl.t;
@@ -56,7 +55,6 @@ let transfer_instr_bits cpt live i =
 let compute (f : Cfg.func) =
   let cpt = Regbits.of_func f in
   let n = Regbits.size cpt in
-  let rev = Cfg.Rev_memo.create () in
   let outflow = phi_outflow cpt f in
   let module F = struct
     type t = Regbits.Set.t
@@ -71,13 +69,15 @@ let compute (f : Cfg.func) =
     (match Hashtbl.find_opt outflow b.Cfg.label with
     | Some extra -> ignore (Regbits.Set.union_into ~src:extra ~dst:live)
     | None -> ());
-    Array.iter (transfer_instr_bits cpt live) (Cfg.Rev_memo.get rev b);
+    let instrs = b.Cfg.instrs in
+    for k = Array.length instrs - 1 downto 0 do
+      transfer_instr_bits cpt live instrs.(k)
+    done;
     live
   in
   let result = S.solve ~direction:Solver.Backward ~transfer f in
   {
     cpt;
-    rev;
     exit_bits = result.S.input;
     entry_bits = result.S.output;
     phi_outflow_bits = outflow;
@@ -125,11 +125,12 @@ let live_in t l =
 
 let iter_block_backward_bits t (b : Cfg.block) ~f =
   let live = scratch_live_out t b.Cfg.label in
-  Array.iter
-    (fun i ->
-      f ~live_out:live i;
-      transfer_instr_bits t.cpt live i)
-    (Cfg.Rev_memo.get t.rev b)
+  let instrs = b.Cfg.instrs in
+  for k = Array.length instrs - 1 downto 0 do
+    let i = instrs.(k) in
+    f ~live_out:live i;
+    transfer_instr_bits t.cpt live i
+  done
 
 (* Reg.Set boundary version: same walk, materializing the functional
    set incrementally as the seed implementation did. *)
@@ -144,12 +145,14 @@ let transfer_instr live i =
 
 let fold_block_backward t (b : Cfg.block) ~init ~f =
   let live = ref (live_out t b.Cfg.label) in
-  Array.fold_left
-    (fun acc i ->
-      let acc = f acc ~live_out:!live i in
-      live := transfer_instr !live i;
-      acc)
-    init (Cfg.Rev_memo.get t.rev b)
+  let instrs = b.Cfg.instrs in
+  let acc = ref init in
+  for k = Array.length instrs - 1 downto 0 do
+    let i = instrs.(k) in
+    acc := f !acc ~live_out:!live i;
+    live := transfer_instr !live i
+  done;
+  !acc
 
 let live_across_calls (f : Cfg.func) t =
   let counts = Hashtbl.create 64 in

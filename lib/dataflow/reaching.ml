@@ -1,64 +1,149 @@
+(* Dense reaching definitions.
+
+   Definition sites (instructions defining one virtual register) are
+   numbered densely in block order via the function's instruction
+   numbering, and the dataflow facts are int-array bitsets over those
+   site indices — the transfer across a defining instruction clears the
+   register's other sites (a tiny per-register list) and sets its own
+   bit.  The legacy [Int_set]-of-instruction-ids API is kept as a thin
+   boundary for callers that want functional sets; the hot consumer
+   (web construction) walks the bitsets directly. *)
+
 module Int_set = Set.Make (Int)
 
-module Fact = struct
-  type t = Int_set.t
-
-  let bottom = Int_set.empty
-  let equal = Int_set.equal
-  let join = Int_set.union
-end
-
-module S = Solver.Make (Fact)
-
 type t = {
-  result : S.result;
-  def_reg : (int, Reg.t) Hashtbl.t;
-  reg_defs : int list Reg.Tbl.t;
+  fn : Cfg.func;
+  n_sites : int;
+  site_of_index : int array; (* dense instr index -> site, or -1 *)
+  site_instr_id : int array; (* site -> defining instruction id *)
+  site_reg : Reg.t array; (* site -> defined register *)
+  reg_sites : int list Reg.Tbl.t; (* reg -> sites, program order *)
+  bits_in : (Instr.label, Regbits.Set.t) Hashtbl.t;
 }
 
 let def_of_instr (i : Instr.t) =
   match Instr.defs i.Instr.kind with
-  | [ r ] when Reg.is_virtual r -> Some (i.Instr.id, r)
+  | [ r ] when Reg.is_virtual r -> Some r
   | _ -> None
 
-let transfer_instr def_tables live i =
-  match def_of_instr i with
-  | None -> live
-  | Some (id, r) ->
-      let _, reg_defs = def_tables in
-      let others = try Reg.Tbl.find reg_defs r with Not_found -> [] in
-      let live = List.fold_left (fun s d -> Int_set.remove d s) live others in
-      Int_set.add id live
+(* In-place forward transfer: kill the register's other sites, set this
+   one. *)
+let transfer_site t live s =
+  let r = t.site_reg.(s) in
+  List.iter (fun d -> Regbits.Set.remove live d) (Reg.Tbl.find t.reg_sites r);
+  Regbits.Set.add live s
 
 let compute (f : Cfg.func) =
-  let def_reg = Hashtbl.create 64 in
-  let reg_defs = Reg.Tbl.create 64 in
-  Cfg.iter_instrs f (fun _ i ->
-      match def_of_instr i with
-      | Some (id, r) ->
-          Hashtbl.replace def_reg id r;
-          let cur = try Reg.Tbl.find reg_defs r with Not_found -> [] in
-          Reg.Tbl.replace reg_defs r (id :: cur)
-      | None -> ());
-  let tables = (def_reg, reg_defs) in
+  let n = Cfg.n_instrs f in
+  let site_of_index = Array.make n (-1) in
+  let sites = ref [] and n_sites = ref 0 in
+  let reg_sites = Reg.Tbl.create 64 in
+  let idx = ref 0 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      Array.iter
+        (fun i ->
+          (match def_of_instr i with
+          | Some r ->
+              let s = !n_sites in
+              incr n_sites;
+              site_of_index.(!idx) <- s;
+              sites := (i.Instr.id, r) :: !sites;
+              let cur = try Reg.Tbl.find reg_sites r with Not_found -> [] in
+              Reg.Tbl.replace reg_sites r (s :: cur)
+          | None -> ());
+          incr idx)
+        b.Cfg.instrs)
+    f.Cfg.blocks;
+  let n_sites = !n_sites in
+  let site_instr_id = Array.make n_sites (-1) in
+  let site_reg = Array.make n_sites Reg.first_virtual in
+  List.iteri
+    (fun k (id, r) ->
+      let s = n_sites - 1 - k in
+      site_instr_id.(s) <- id;
+      site_reg.(s) <- r)
+    !sites;
+  Reg.Tbl.filter_map_inplace (fun _ sites -> Some (List.rev sites)) reg_sites;
+  let t =
+    {
+      fn = f;
+      n_sites;
+      site_of_index;
+      site_instr_id;
+      site_reg;
+      reg_sites;
+      bits_in = Hashtbl.create 16;
+    }
+  in
+  let module F = struct
+    type nonrec t = Regbits.Set.t
+
+    let bottom = Regbits.Set.create n_sites
+    let equal = Regbits.Set.equal
+    let join = Regbits.Set.union
+  end in
+  let module S = Solver.Make (F) in
   let transfer (b : Cfg.block) incoming =
-    List.fold_left (transfer_instr tables) incoming b.Cfg.instrs
+    let live = Regbits.Set.copy incoming in
+    let base = Cfg.instr_index f b.Cfg.instrs.(0) in
+    Array.iteri
+      (fun k _ ->
+        let s = site_of_index.(base + k) in
+        if s >= 0 then transfer_site t live s)
+      b.Cfg.instrs;
+    live
   in
   let result = S.solve ~direction:Solver.Forward ~transfer f in
-  { result; def_reg; reg_defs }
+  Hashtbl.iter (fun l bits -> Hashtbl.replace t.bits_in l bits) result.S.input;
+  t
 
-let reg_of_def t id = Hashtbl.find t.def_reg id
-let defs_of_reg t r = try Reg.Tbl.find t.reg_defs r with Not_found -> []
+(* {1 Dense accessors} *)
 
-let reaching_in t l =
-  try Hashtbl.find t.result.S.input l with Not_found -> Int_set.empty
+let n_sites t = t.n_sites
+let site_reg t s = t.site_reg.(s)
+let site_instr_id t s = t.site_instr_id.(s)
+
+let sites_of_reg t r =
+  try Reg.Tbl.find t.reg_sites r with Not_found -> []
+
+let site_of_instr t (i : Instr.t) =
+  let idx = Cfg.instr_index_of_id t.fn i.Instr.id in
+  if idx < 0 then -1 else t.site_of_index.(idx)
+
+let reaching_in_bits t l =
+  match Hashtbl.find_opt t.bits_in l with
+  | Some s -> s
+  | None -> Regbits.Set.create t.n_sites
+
+let iter_block_forward_bits t (b : Cfg.block) ~f =
+  let live = Regbits.Set.copy (reaching_in_bits t b.Cfg.label) in
+  let base = Cfg.instr_index t.fn b.Cfg.instrs.(0) in
+  Array.iteri
+    (fun k i ->
+      let s = t.site_of_index.(base + k) in
+      f ~reaching:live ~site:s i;
+      if s >= 0 then transfer_site t live s)
+    b.Cfg.instrs
+
+(* {1 Legacy Int_set boundary} *)
+
+let ids_of_bits t bits =
+  Regbits.Set.fold bits ~init:Int_set.empty ~f:(fun acc s ->
+      Int_set.add t.site_instr_id.(s) acc)
+
+let reg_of_def t id =
+  let idx = Cfg.instr_index_of_id t.fn id in
+  if idx < 0 then raise Not_found;
+  let s = t.site_of_index.(idx) in
+  if s < 0 then raise Not_found;
+  t.site_reg.(s)
+
+let defs_of_reg t r = List.map (fun s -> t.site_instr_id.(s)) (sites_of_reg t r)
+let reaching_in t l = ids_of_bits t (reaching_in_bits t l)
 
 let fold_block_forward t (b : Cfg.block) ~init ~f =
-  let tables = (t.def_reg, t.reg_defs) in
-  let reaching = ref (reaching_in t b.Cfg.label) in
-  List.fold_left
-    (fun acc i ->
-      let acc = f acc ~reaching:!reaching i in
-      reaching := transfer_instr tables !reaching i;
-      acc)
-    init b.Cfg.instrs
+  let acc = ref init in
+  iter_block_forward_bits t b ~f:(fun ~reaching ~site:_ i ->
+      acc := f !acc ~reaching:(ids_of_bits t reaching) i);
+  !acc

@@ -13,11 +13,17 @@ type 'b slot = Empty | Done of 'b | Raised of exn * Printexc.raw_backtrace
 
 let map ?(chunk = 1) ~jobs f xs =
   let n = List.length xs in
+  (* Never spawn more domains than the host can run: each extra domain
+     on an oversubscribed machine costs spawn/join overhead and GC
+     coordination without adding throughput. *)
+  let jobs = min jobs (max 1 (Domain.recommended_domain_count ())) in
   if jobs <= 1 || n <= 1 then List.map (fun x -> f ~worker:0 x) xs
   else begin
     let items = Array.of_list xs in
     let jobs = min jobs n in
-    let chunk = max 1 chunk in
+    (* Coarsen tiny chunks so the queue cursor is not contended once per
+       item; aim for at least ~4 claims per worker to keep balance. *)
+    let chunk = max (max 1 chunk) (n / (jobs * 4)) in
     let out = Array.make n Empty in
     let lock = Mutex.create () in
     let next = ref 0 in

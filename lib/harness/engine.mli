@@ -23,7 +23,12 @@ val default_jobs : unit -> int
 val map : ?chunk:int -> jobs:int -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] runs [f ~worker x] for every [x], spreading items
     over [min jobs (length xs)] workers ([worker] ranges over
-    [0 .. jobs-1]; worker 0 is the calling domain).  [chunk] is how
-    many consecutive items a worker claims per queue access (default
-    1 — allocation jobs are coarse and uneven, so fine-grained
-    claiming balances best; raise it for many cheap items). *)
+    [0 .. jobs-1]; worker 0 is the calling domain).  The effective
+    worker count is additionally capped at
+    [Domain.recommended_domain_count ()]: asking for more domains than
+    the host can run only adds spawn and GC-coordination overhead.
+    [chunk] is the minimum number of consecutive items a worker claims
+    per queue access (default 1); the engine coarsens it so each
+    worker makes at most a handful of queue round-trips, which keeps
+    the shared cursor uncontended on many cheap items while still
+    balancing coarse uneven ones. *)

@@ -95,7 +95,16 @@ let finish b =
            let body = !(Hashtbl.find b.bodies l) in
            match body with
            | [] -> None
-           | instrs -> Some { Cfg.label = l; instrs = List.rev instrs })
+           | instrs ->
+               let a = Array.of_list instrs in
+               let n = Array.length a in
+               (* [instrs] is in reverse emission order; flip in place. *)
+               for i = 0 to (n / 2) - 1 do
+                 let tmp = a.(i) in
+                 a.(i) <- a.(n - 1 - i);
+                 a.(n - 1 - i) <- tmp
+               done;
+               Some { Cfg.label = l; instrs = a })
   in
   let f = Cfg.with_blocks b.func blocks in
   match Cfg.validate f with

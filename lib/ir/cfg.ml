@@ -1,4 +1,13 @@
-type block = { label : Instr.label; instrs : Instr.t list }
+type block = { label : Instr.label; instrs : Instr.t array }
+
+(* Dense per-function instruction numbering: instructions in block order
+   get consecutive indices 0..n-1, and a side array maps instruction ids
+   (which survive rewrites) back to indices.  Built lazily and cached on
+   the function; every body rewrite drops the cache. *)
+type numbering = {
+  by_index : Instr.t array;
+  index_of_id : int array; (* instr id -> dense index, -1 when absent *)
+}
 
 type func = {
   name : string;
@@ -9,6 +18,7 @@ type func = {
   mutable next_reg : Reg.t;
   mutable next_instr_id : int;
   mutable next_label : Instr.label;
+  mutable numbering : numbering option;
 }
 
 type program = { funcs : func list; main : string }
@@ -23,9 +33,10 @@ let create_func ~name ~n_params ~entry =
     next_reg = Reg.first_virtual;
     next_instr_id = 0;
     next_label = entry + 1;
+    numbering = None;
   }
 
-let with_blocks f blocks = { f with blocks }
+let with_blocks f blocks = { f with blocks; numbering = None }
 
 let clone f =
   {
@@ -34,6 +45,7 @@ let clone f =
     next_reg = f.next_reg;
     next_instr_id = f.next_instr_id;
     next_label = f.next_label;
+    numbering = None;
   }
 
 let fresh_reg f cls =
@@ -62,50 +74,31 @@ let block f l =
   | Some b -> b
   | None -> invalid_arg (Printf.sprintf "Cfg.block: no block L%d in %s" l f.name)
 
-let rev_instr_array b =
-  let a = Array.of_list b.instrs in
-  let n = Array.length a in
-  let half = n / 2 in
-  for i = 0 to half - 1 do
-    let tmp = a.(i) in
-    a.(i) <- a.(n - 1 - i);
-    a.(n - 1 - i) <- tmp
+let mk_block label instrs =
+  let n = Array.length instrs in
+  if n = 0 then
+    invalid_arg (Printf.sprintf "Cfg.mk_block: empty block L%d" label);
+  for i = 0 to n - 2 do
+    if Instr.is_terminator instrs.(i).Instr.kind then
+      invalid_arg
+        (Printf.sprintf "Cfg.mk_block: terminator mid-block in L%d" label)
   done;
-  a
+  if not (Instr.is_terminator instrs.(n - 1).Instr.kind) then
+    invalid_arg (Printf.sprintf "Cfg.mk_block: block L%d lacks a terminator" label);
+  { label; instrs }
 
-(* Blocks are immutable, so a pass that repeatedly walks the same blocks
-   backward (a backward dataflow fixpoint, interference-graph
-   construction over liveness results) can reverse each one once.  The
-   memo is label-keyed but identity-checked: a rewritten block is a
-   fresh record, so handing the cache a new version of a label replaces
-   the stale entry instead of returning it.  The cache's lifetime is the
-   owning pass's — nothing global accumulates. *)
-module Rev_memo = struct
-  type t = (Instr.label, block * Instr.t array) Hashtbl.t
-
-  let create () : t = Hashtbl.create 32
-
-  let get (t : t) b =
-    match Hashtbl.find_opt t b.label with
-    | Some (b', a) when b' == b -> a
-    | _ ->
-        let a = rev_instr_array b in
-        Hashtbl.replace t b.label (b, a);
-        a
-end
+let mk_block_of_list label instrs = mk_block label (Array.of_list instrs)
 
 let terminator b =
-  let rec last = function
-    | [] ->
-        invalid_arg
-          (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
-    | [ t ] when Instr.is_terminator t.Instr.kind -> t
-    | [ _ ] ->
-        invalid_arg
-          (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
-    | _ :: tl -> last tl
-  in
-  last b.instrs
+  let n = Array.length b.instrs in
+  if n = 0 then
+    invalid_arg
+      (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label);
+  let t = b.instrs.(n - 1) in
+  if Instr.is_terminator t.Instr.kind then t
+  else
+    invalid_arg
+      (Printf.sprintf "Cfg.terminator: block L%d lacks a terminator" b.label)
 
 let successors b = Instr.successors (terminator b).Instr.kind
 
@@ -138,12 +131,63 @@ let reverse_postorder f =
   !order
 
 let iter_instrs f k =
-  List.iter (fun b -> List.iter (fun i -> k b i) b.instrs) f.blocks
+  List.iter (fun b -> Array.iter (fun i -> k b i) b.instrs) f.blocks
 
 let fold_instrs f k init =
   List.fold_left
-    (fun acc b -> List.fold_left (fun acc i -> k acc b i) acc b.instrs)
+    (fun acc b -> Array.fold_left (fun acc i -> k acc b i) acc b.instrs)
     init f.blocks
+
+(* {1 Dense numbering} *)
+
+let build_numbering f =
+  let n = List.fold_left (fun n b -> n + Array.length b.instrs) 0 f.blocks in
+  let by_index = Array.make n Instr.dummy in
+  let index_of_id = Array.make f.next_instr_id (-1) in
+  let k = ref 0 in
+  List.iter
+    (fun b ->
+      Array.iter
+        (fun i ->
+          by_index.(!k) <- i;
+          let id = i.Instr.id in
+          if id < 0 || id >= Array.length index_of_id then
+            invalid_arg
+              (Printf.sprintf "Cfg.numbering: instr id %d out of range in %s" id
+                 f.name);
+          if index_of_id.(id) >= 0 then
+            invalid_arg
+              (Printf.sprintf "Cfg.numbering: duplicate instr id %d in %s" id
+                 f.name);
+          index_of_id.(id) <- !k;
+          incr k)
+        b.instrs)
+    f.blocks;
+  { by_index; index_of_id }
+
+let numbering f =
+  match f.numbering with
+  | Some nb -> nb
+  | None ->
+      let nb = build_numbering f in
+      f.numbering <- Some nb;
+      nb
+
+let n_instrs f = Array.length (numbering f).by_index
+
+let instr_index_of_id f id =
+  let nb = numbering f in
+  if id < 0 || id >= Array.length nb.index_of_id then -1
+  else nb.index_of_id.(id)
+
+let instr_index f (i : Instr.t) =
+  let idx = instr_index_of_id f i.Instr.id in
+  if idx < 0 then
+    invalid_arg
+      (Printf.sprintf "Cfg.instr_index: instr %d not in %s" i.Instr.id f.name);
+  idx
+
+let instr_at f idx = (numbering f).by_index.(idx)
 
 let regs_of_func f ~keep =
   fold_instrs f
@@ -163,7 +207,7 @@ let map_instrs f rewrite =
         {
           b with
           instrs =
-            List.map (fun i -> { i with Instr.kind = rewrite i }) b.instrs;
+            Array.map (fun i -> { i with Instr.kind = rewrite i }) b.instrs;
         })
       f.blocks
   in
@@ -190,50 +234,39 @@ let validate f =
     let preds = predecessors f in
     List.iter
       (fun b ->
-        (match b.instrs with
-        | [] -> raise (Invalid (Printf.sprintf "empty block L%d" b.label))
-        | instrs -> (
-            let n = List.length instrs in
-            List.iteri
-              (fun idx i ->
-                let terminal = Instr.is_terminator i.Instr.kind in
-                if terminal && idx < n - 1 then
+        let n = Array.length b.instrs in
+        if n = 0 then
+          raise (Invalid (Printf.sprintf "empty block L%d" b.label));
+        Array.iteri
+          (fun idx i ->
+            let terminal = Instr.is_terminator i.Instr.kind in
+            if terminal && idx < n - 1 then
+              raise
+                (Invalid (Printf.sprintf "terminator mid-block in L%d" b.label));
+            if (not terminal) && idx = n - 1 then
+              raise
+                (Invalid
+                   (Printf.sprintf "block L%d lacks a terminator" b.label)))
+          b.instrs;
+        (* Phis must form a prefix of the block and their sources must
+           match the predecessors exactly. *)
+        let seen_non_phi = ref false in
+        Array.iter
+          (fun i ->
+            match i.Instr.kind with
+            | Instr.Phi { srcs; _ } ->
+                if !seen_non_phi then
+                  raise
+                    (Invalid (Printf.sprintf "phi after non-phi in L%d" b.label));
+                let ps = try Hashtbl.find preds b.label with Not_found -> [] in
+                let src_labels = List.map fst srcs in
+                if List.sort compare src_labels <> List.sort compare ps then
                   raise
                     (Invalid
-                       (Printf.sprintf "terminator mid-block in L%d" b.label));
-                if (not terminal) && idx = n - 1 then
-                  raise
-                    (Invalid
-                       (Printf.sprintf "block L%d lacks a terminator" b.label)))
-              instrs;
-            (* Phis must form a prefix of the block and their sources
-               must match the predecessors exactly. *)
-            let rec check_phis seen_non_phi = function
-              | [] -> ()
-              | i :: rest -> (
-                  match i.Instr.kind with
-                  | Instr.Phi { srcs; _ } ->
-                      if seen_non_phi then
-                        raise
-                          (Invalid
-                             (Printf.sprintf "phi after non-phi in L%d" b.label));
-                      let ps =
-                        try Hashtbl.find preds b.label with Not_found -> []
-                      in
-                      let src_labels = List.map fst srcs in
-                      if
-                        List.sort compare src_labels
-                        <> List.sort compare ps
-                      then
-                        raise
-                          (Invalid
-                             (Printf.sprintf
-                                "phi sources of L%d do not match predecessors"
-                                b.label));
-                      check_phis seen_non_phi rest
-                  | _ -> check_phis true rest)
-            in
-            check_phis false instrs));
+                       (Printf.sprintf
+                          "phi sources of L%d do not match predecessors" b.label))
+            | _ -> seen_non_phi := true)
+          b.instrs;
         List.iter
           (fun s ->
             if not (Hashtbl.mem labels s) then
@@ -247,10 +280,23 @@ let validate f =
   | Invalid msg -> err "%s: %s" f.name msg
   | Invalid_argument msg -> err "%s: %s" f.name msg
 
+(* The verifier-facing well-formedness check: the structural invariants
+   the array representation leans on (terminator exactly at the last
+   slot, no empty blocks) plus the entry block leading the block list. *)
+let wellformed f =
+  match validate f with
+  | Error _ as e -> e
+  | Ok () -> (
+      match f.blocks with
+      | b :: _ when b.label = f.entry -> Ok ()
+      | _ :: _ ->
+          Error (Printf.sprintf "%s: entry block L%d is not first" f.name f.entry)
+      | [] -> Error (Printf.sprintf "%s: no blocks" f.name))
+
 let pp_block ppf b =
   Format.fprintf ppf "@[<v 2>L%d:@ %a@]" b.label
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Instr.pp)
-    b.instrs
+    (Array.to_list b.instrs)
 
 let pp_func ppf f =
   Format.fprintf ppf "@[<v>func %s(%d params):@ %a@]" f.name f.n_params

@@ -1,15 +1,25 @@
 (** Control-flow graphs, functions and programs.
 
     A function is a list of basic blocks.  Each block carries a unique
-    label and a non-empty instruction list whose last element is the
-    unique terminator.  The entry block comes first.
+    label and a non-empty flat instruction array whose last element is
+    the unique terminator — backward passes iterate the array from the
+    top index down, with no reversal or per-pass caching.  The entry
+    block comes first.
 
     Register metadata (class of each virtual register, the next fresh
     register and instruction identifiers) lives in mutable tables shared
     by all rewritten versions of the function, so passes that rebuild
-    the block list keep register identities stable. *)
+    the block list keep register identities stable.  Each function also
+    carries a lazily-built {e dense instruction numbering}: consecutive
+    indices over the body in block order, recoverable from the stable
+    instruction ids, so per-instruction side tables are plain
+    int-indexed arrays.  Every body rewrite ([with_blocks],
+    [map_instrs]) renumbers by dropping the cache. *)
 
-type block = { label : Instr.label; instrs : Instr.t list }
+type block = { label : Instr.label; instrs : Instr.t array }
+
+type numbering
+(** Dense per-function instruction numbering (see {!instr_index}). *)
 
 type func = {
   name : string;
@@ -20,6 +30,8 @@ type func = {
   mutable next_reg : Reg.t;
   mutable next_instr_id : int;
   mutable next_label : Instr.label;
+  mutable numbering : numbering option;
+      (** Cache; managed by [with_blocks]/[map_instrs]/[clone]. *)
 }
 
 type program = { funcs : func list; main : string }
@@ -29,8 +41,18 @@ type program = { funcs : func list; main : string }
 val create_func : name:string -> n_params:int -> entry:Instr.label -> func
 (** A function with no blocks yet; fill in with [with_blocks]. *)
 
+val mk_block : Instr.label -> Instr.t array -> block
+(** Checked block constructor: the body must be non-empty with the
+    unique terminator in the last slot.
+    @raise Invalid_argument otherwise. *)
+
+val mk_block_of_list : Instr.label -> Instr.t list -> block
+(** [mk_block] over [Array.of_list]; for rewrite passes that accumulate
+    bodies as lists. *)
+
 val with_blocks : func -> block list -> func
-(** Same function, new body.  Shares register metadata. *)
+(** Same function, new body.  Shares register metadata; the dense
+    numbering of the result is rebuilt on demand. *)
 
 val clone : func -> func
 (** Deep copy, including register metadata.  Allocators clone their
@@ -54,24 +76,6 @@ val block_opt : func -> Instr.label -> block option
 val successors : block -> Instr.label list
 val terminator : block -> Instr.t
 
-val rev_instr_array : block -> Instr.t array
-(** The block's instructions from last to first, as a fresh array. *)
-
-(** Per-pass memo of reversed instruction arrays.  Backward passes that
-    repeatedly walk the same blocks — the liveness fixpoint,
-    interference-graph construction over its results — create one memo
-    and reverse each block once instead of re-allocating
-    [List.rev instrs] per visit.  Entries are label-keyed but checked
-    against the block's physical identity, so a rewritten block (a
-    fresh record under the same label) replaces the stale entry.
-    Callers must not mutate the returned arrays. *)
-module Rev_memo : sig
-  type t
-
-  val create : unit -> t
-  val get : t -> block -> Instr.t array
-end
-
 val predecessors : func -> (Instr.label, Instr.label list) Hashtbl.t
 (** Map from block label to predecessor labels. *)
 
@@ -80,6 +84,29 @@ val reverse_postorder : func -> Instr.label list
 
 val iter_instrs : func -> (block -> Instr.t -> unit) -> unit
 val fold_instrs : func -> ('a -> block -> Instr.t -> 'a) -> 'a -> 'a
+
+(** {1 Dense instruction numbering}
+
+    Instructions receive consecutive indices [0 .. n_instrs - 1] in
+    block order (blocks in list order, instructions first to last).
+    The numbering is built lazily from the current body and cached on
+    the function; it is keyed by the stable instruction ids, so a
+    rewritten instruction ([{ i with kind }], same id) keeps its index
+    until the next body rewrite renumbers. *)
+
+val n_instrs : func -> int
+(** Total instruction count of the body. *)
+
+val instr_index : func -> Instr.t -> int
+(** Dense index of an instruction of this function.
+    @raise Invalid_argument if the instruction is not in the body. *)
+
+val instr_index_of_id : func -> int -> int
+(** Dense index of the instruction with this id, or [-1] if no such
+    instruction is in the body. *)
+
+val instr_at : func -> int -> Instr.t
+(** Instruction at a dense index. *)
 
 val all_vregs : func -> Reg.Set.t
 (** Every virtual register occurring in the body. *)
@@ -98,6 +125,11 @@ val validate : func -> (unit, string) result
 (** Check structural invariants: non-empty blocks, single trailing
     terminator, branch targets exist, entry block present, phis only at
     block heads with sources matching predecessors. *)
+
+val wellformed : func -> (unit, string) result
+(** [validate] plus the layout invariants the array representation
+    makes load-bearing: the entry block leads the block list.  Run by
+    the verifier's linter on every phase snapshot. *)
 
 val pp_block : Format.formatter -> block -> unit
 val pp_func : Format.formatter -> func -> unit

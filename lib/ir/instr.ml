@@ -37,6 +37,8 @@ type kind =
 
 type t = { id : int; kind : kind }
 
+let dummy = { id = -1; kind = Ret None }
+
 let defs = function
   | Move { dst; _ }
   | Const { dst; _ }

@@ -71,6 +71,10 @@ type t = { id : int; kind : kind }
 (** [id] is unique within a function; fresh ids come from the enclosing
     {!Cfg.func}. *)
 
+val dummy : t
+(** Placeholder instruction (id [-1], [Ret None]) used to initialise
+    arrays before they are filled; never part of a function body. *)
+
 val defs : kind -> Reg.t list
 (** Registers written by the instruction. *)
 

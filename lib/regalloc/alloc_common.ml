@@ -42,7 +42,7 @@ let analyze fn =
   let loops = Loops.compute fn in
   let live = Liveness.compute fn in
   let graph = Igraph.build fn live in
-  let costs = Spill_cost.compute ~loops fn in
+  let costs = Spill_cost.compute ~loops ~cpt:(Liveness.compact live) fn in
   { fn; live; graph; costs; loops }
 
 (* Spill temporaries survive web renumbering: a web register is a

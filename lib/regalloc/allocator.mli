@@ -12,8 +12,8 @@
     [run] is called concurrently from several OCaml domains by the
     parallel allocation engine, one call per function job.  An
     implementation must therefore confine every piece of mutable state
-    — interference-graph scratch, dense-bitset numberings,
-    [Cfg.Rev_memo] caches, any [Hashtbl]/[ref] memo — to the dynamic
+    — interference-graph scratch, dense-bitset numberings, cached
+    instruction numberings, any [Hashtbl]/[ref] memo — to the dynamic
     extent of a single [run] call (or key it off [ctx.worker] if it
     wants to reuse buffers across the jobs of one worker).  No mutable
     state may be shared across jobs, and [run] must not mutate the

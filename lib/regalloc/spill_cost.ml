@@ -6,9 +6,30 @@ type info = {
   n_uses : int;
 }
 
-type t = info Reg.Tbl.t
+(* Costs live in flat int arrays over the per-function compact register
+   numbering (shared with liveness and the interference graph when the
+   caller passes [cpt]), not a hashtable: the accumulation sweep and the
+   merged-cost scans are array walks. *)
+type t = {
+  cpt : Regbits.compact;
+  mutable spill : int array;
+  mutable op : int array;
+  mutable defs : int array;
+  mutable uses : int array;
+}
 
 let zero = { spill_cost = 0; op_cost = 0; mem_cost = 0; n_defs = 0; n_uses = 0 }
+
+let ensure t idx =
+  let n = Array.length t.spill in
+  if idx >= n then begin
+    let n' = max (idx + 1) (max 16 (2 * n)) in
+    let grow a = Array.append a (Array.make (n' - n) 0) in
+    t.spill <- grow t.spill;
+    t.op <- grow t.op;
+    t.defs <- grow t.defs;
+    t.uses <- grow t.uses
+  end
 
 (* Inst_Cost(I): 2 for memory operations, undefined (excluded) for
    calls, 1 otherwise. *)
@@ -22,56 +43,79 @@ let site_op_cost = function
   | Instr.Ret _ | Instr.Phi _ ->
       Costs.op
 
-let compute ?loops (f : Cfg.func) =
+let compute ?loops ?cpt (f : Cfg.func) =
   let loops = match loops with Some l -> l | None -> Loops.compute f in
-  let tbl : t = Reg.Tbl.create 128 in
-  let get r = try Reg.Tbl.find tbl r with Not_found -> zero in
-  Cfg.iter_instrs f (fun b i ->
+  let cpt = match cpt with Some c -> c | None -> Regbits.of_func f in
+  let n = Regbits.size cpt in
+  let t =
+    {
+      cpt;
+      spill = Array.make n 0;
+      op = Array.make n 0;
+      defs = Array.make n 0;
+      uses = Array.make n 0;
+    }
+  in
+  List.iter
+    (fun (b : Cfg.block) ->
       let freq = Loops.frequency loops b.Cfg.label in
-      let kind = i.Instr.kind in
-      let opc = site_op_cost kind * freq in
-      List.iter
-        (fun r ->
-          if Reg.is_virtual r then begin
-            let c = get r in
-            Reg.Tbl.replace tbl r
-              {
-                c with
-                spill_cost = c.spill_cost + (Costs.store * freq);
-                op_cost = c.op_cost + opc;
-                n_defs = c.n_defs + 1;
-              }
-          end)
-        (Instr.defs kind);
-      List.iter
-        (fun r ->
-          if Reg.is_virtual r then begin
-            let c = get r in
-            Reg.Tbl.replace tbl r
-              {
-                c with
-                spill_cost = c.spill_cost + (Costs.load * freq);
-                op_cost = c.op_cost + opc;
-                n_uses = c.n_uses + 1;
-              }
-          end)
-        (Instr.uses kind));
-  Reg.Tbl.iter
-    (fun r c ->
-      Reg.Tbl.replace tbl r { c with mem_cost = c.spill_cost + c.op_cost })
-    tbl;
-  tbl
+      Array.iter
+        (fun (i : Instr.t) ->
+          let kind = i.Instr.kind in
+          let opc = site_op_cost kind * freq in
+          List.iter
+            (fun r ->
+              if Reg.is_virtual r then begin
+                let idx = Regbits.index cpt r in
+                ensure t idx;
+                t.spill.(idx) <- t.spill.(idx) + (Costs.store * freq);
+                t.op.(idx) <- t.op.(idx) + opc;
+                t.defs.(idx) <- t.defs.(idx) + 1
+              end)
+            (Instr.defs kind);
+          List.iter
+            (fun r ->
+              if Reg.is_virtual r then begin
+                let idx = Regbits.index cpt r in
+                ensure t idx;
+                t.spill.(idx) <- t.spill.(idx) + (Costs.load * freq);
+                t.op.(idx) <- t.op.(idx) + opc;
+                t.uses.(idx) <- t.uses.(idx) + 1
+              end)
+            (Instr.uses kind))
+        b.Cfg.instrs)
+    f.Cfg.blocks;
+  t
 
-let info t r = try Reg.Tbl.find t r with Not_found -> zero
-let spill_cost t r = (info t r).spill_cost
+let info t r =
+  match Regbits.find t.cpt r with
+  | Some idx when idx < Array.length t.spill ->
+      let spill_cost = t.spill.(idx) and op_cost = t.op.(idx) in
+      {
+        spill_cost;
+        op_cost;
+        mem_cost = spill_cost + op_cost;
+        n_defs = t.defs.(idx);
+        n_uses = t.uses.(idx);
+      }
+  | Some _ | None -> zero
+
+let spill_cost t r =
+  match Regbits.find t.cpt r with
+  | Some idx when idx < Array.length t.spill -> t.spill.(idx)
+  | Some _ | None -> 0
+
 let mem_cost t r = (info t r).mem_cost
 
 let merged_spill_cost t g rep =
   let rep = Igraph.alias g rep in
-  Reg.Tbl.fold
-    (fun r c acc ->
-      if Reg.equal (Igraph.alias g r) rep then acc + c.spill_cost else acc)
-    t 0
+  let acc = ref 0 in
+  for idx = 0 to Array.length t.spill - 1 do
+    let c = t.spill.(idx) in
+    if c <> 0 && Reg.equal (Igraph.alias g (Regbits.reg_at t.cpt idx)) rep then
+      acc := !acc + c
+  done;
+  !acc
 
 let chaitin_metric t g ~no_spill rep =
   if no_spill rep then infinity

@@ -20,9 +20,12 @@ type info = {
 
 type t
 
-val compute : ?loops:Loops.t -> Cfg.func -> t
+val compute : ?loops:Loops.t -> ?cpt:Regbits.compact -> Cfg.func -> t
 (** [loops] reuses an already-computed loop forest (the per-round
-    analysis context passes it); one is computed privately otherwise. *)
+    analysis context passes it); one is computed privately otherwise.
+    [cpt] shares a compact register numbering (eg. the liveness one) so
+    the cost tables are flat arrays over the same indices; a private
+    numbering is seeded from the body otherwise. *)
 
 val info : t -> Reg.t -> info
 (** Zero costs for a register that never occurs. *)

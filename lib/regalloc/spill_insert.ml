@@ -143,7 +143,12 @@ let insert ?(rematerialize = false) (f : Cfg.func) (spilled : Reg.Set.t) =
   let blocks =
     List.map
       (fun (b : Cfg.block) ->
-        { b with Cfg.instrs = List.concat_map rewrite b.Cfg.instrs })
+        {
+          b with
+          Cfg.instrs =
+            Array.of_list
+              (List.concat_map rewrite (Array.to_list b.Cfg.instrs));
+        })
       f.Cfg.blocks
   in
   {

@@ -1,23 +1,24 @@
 type t = { func : Cfg.func; origin : Reg.t Reg.Tbl.t }
 
-(* Union-find over definition sites (instruction ids). *)
+(* Union-find over definition sites, as flat int arrays over the dense
+   site numbering. *)
 module Uf = struct
-  let create () : (int, int) Hashtbl.t = Hashtbl.create 64
+  type t = int array
 
-  let rec find t x =
-    match Hashtbl.find_opt t x with
-    | None ->
-        Hashtbl.replace t x x;
-        x
-    | Some p when p = x -> x
-    | Some p ->
-        let r = find t p in
-        Hashtbl.replace t x r;
-        r
+  let create n : t = Array.init n (fun i -> i)
+
+  let rec find (t : t) x =
+    let p = t.(x) in
+    if p = x then x
+    else begin
+      let r = find t p in
+      t.(x) <- r;
+      r
+    end
 
   let union t a b =
     let ra = find t a and rb = find t b in
-    if ra <> rb then Hashtbl.replace t ra rb
+    if ra <> rb then t.(ra) <- rb
 end
 
 let run (f : Cfg.func) =
@@ -28,86 +29,74 @@ let run (f : Cfg.func) =
       | Instr.Phi _ -> invalid_arg "Webs.run: phi instructions present"
       | _ -> ());
   let reaching = Reaching.compute f in
-  let uf = Uf.create () in
-  (* Ensure every def site exists in the union-find. *)
-  Cfg.iter_instrs f (fun _ i ->
-      match Instr.defs i.Instr.kind with
-      | [ r ] when Reg.is_virtual r -> ignore (Uf.find uf i.Instr.id)
-      | _ -> ());
-  (* A use merges all definitions of its register that reach it. *)
+  let uf = Uf.create (Reaching.n_sites reaching) in
+  (* A use merges all definitions of its register that reach it: walk
+     the register's (few) sites and keep those in the reaching bitset. *)
   List.iter
     (fun b ->
-      ignore
-        (Reaching.fold_block_forward reaching b ~init:()
-           ~f:(fun () ~reaching:defs i ->
-             List.iter
-               (fun r ->
-                 if Reg.is_virtual r then begin
-                   let sites =
-                     Reaching.Int_set.filter
-                       (fun d -> Reg.equal (Reaching.reg_of_def reaching d) r)
-                       defs
-                   in
-                   match Reaching.Int_set.elements sites with
-                   | [] -> ()
-                   | first :: rest ->
-                       List.iter (fun d -> Uf.union uf first d) rest
-                 end)
-               (Instr.uses i.Instr.kind))))
+      Reaching.iter_block_forward_bits reaching b
+        ~f:(fun ~reaching:defs ~site:_ i ->
+          List.iter
+            (fun r ->
+              if Reg.is_virtual r then begin
+                let first = ref (-1) in
+                List.iter
+                  (fun s ->
+                    if Regbits.Set.mem defs s then
+                      if !first < 0 then first := s
+                      else Uf.union uf !first s)
+                  (Reaching.sites_of_reg reaching r)
+              end)
+            (Instr.uses i.Instr.kind)))
     f.Cfg.blocks;
   (* One fresh register per web (per union-find class). *)
-  let web_reg : (int, Reg.t) Hashtbl.t = Hashtbl.create 64 in
+  let web_reg = Array.make (max 1 (Reaching.n_sites reaching)) None in
   let origin = Reg.Tbl.create 64 in
   let reg_for_def site r =
     let root = Uf.find uf site in
-    match Hashtbl.find_opt web_reg root with
+    match web_reg.(root) with
     | Some w -> w
     | None ->
         let w = Cfg.fresh_reg f (Cfg.cls_of f r) in
-        Hashtbl.replace web_reg root w;
+        web_reg.(root) <- Some w;
         Reg.Tbl.replace origin w r;
         w
   in
   let blocks =
     List.map
       (fun b ->
-        let instrs =
-          Reaching.fold_block_forward reaching b ~init:[]
-            ~f:(fun acc ~reaching:defs i ->
-              let kind = i.Instr.kind in
-              (* Rewrite uses first (relative to incoming definitions),
-                 then the def. *)
-              let kind =
-                Instr.map_uses
-                  (fun r ->
-                    if not (Reg.is_virtual r) then r
-                    else
-                      let site =
-                        Reaching.Int_set.fold
-                          (fun d acc ->
-                            match acc with
-                            | Some _ -> acc
-                            | None ->
-                                if
-                                  Reg.equal (Reaching.reg_of_def reaching d) r
-                                then Some d
-                                else None)
-                          defs None
-                      in
-                      match site with
-                      | Some d -> reg_for_def d r
-                      | None -> r (* no reaching definition: keep the name *))
-                  kind
-              in
-              let kind =
-                Instr.map_defs
-                  (fun r ->
-                    if Reg.is_virtual r then reg_for_def i.Instr.id r else r)
-                  kind
-              in
-              { i with Instr.kind } :: acc)
-          |> List.rev
-        in
+        let instrs = Array.make (Array.length b.Cfg.instrs) Instr.dummy in
+        let k = ref 0 in
+        Reaching.iter_block_forward_bits reaching b
+          ~f:(fun ~reaching:defs ~site i ->
+            let kind = i.Instr.kind in
+            (* Rewrite uses first (relative to incoming definitions),
+               then the def. *)
+            let kind =
+              Instr.map_uses
+                (fun r ->
+                  if not (Reg.is_virtual r) then r
+                  else
+                    let site = ref (-1) in
+                    List.iter
+                      (fun s ->
+                        if !site < 0 && Regbits.Set.mem defs s then site := s)
+                      (Reaching.sites_of_reg reaching r);
+                    if !site >= 0 then reg_for_def !site r
+                    else r (* no reaching definition: keep the name *))
+                kind
+            in
+            let kind =
+              Instr.map_defs
+                (fun r ->
+                  if not (Reg.is_virtual r) then r
+                  else if site < 0 then
+                    invalid_arg "Webs.run: virtual def outside a def site"
+                  else reg_for_def site r)
+                kind
+            in
+            instrs.(!k) <- { i with Instr.kind };
+            incr k);
         { b with Cfg.instrs })
       f.Cfg.blocks
   in

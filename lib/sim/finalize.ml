@@ -35,9 +35,9 @@ let apply (m : Machine.t) (res : Alloc_common.result) =
                   incr moves_kept;
                   Some { i with Instr.kind }
               | _ -> Some { i with Instr.kind })
-            b.Cfg.instrs
+            (Array.to_list b.Cfg.instrs)
         in
-        { b with Cfg.instrs })
+        { b with Cfg.instrs = Array.of_list instrs })
       fn.Cfg.blocks
   in
   let fn = Cfg.with_blocks fn blocks in
@@ -69,7 +69,8 @@ let apply (m : Machine.t) (res : Alloc_common.result) =
   in
   let blocks =
     List.map
-      (fun (b : Cfg.block) -> { b with Cfg.instrs = fuse b.Cfg.instrs })
+      (fun (b : Cfg.block) ->
+        { b with Cfg.instrs = Array.of_list (fuse (Array.to_list b.Cfg.instrs)) })
       fn.Cfg.blocks
   in
   let fn = Cfg.with_blocks fn blocks in
@@ -120,7 +121,7 @@ let apply (m : Machine.t) (res : Alloc_common.result) =
                   saves @ (i :: restores) @ acc
               | _ -> i :: acc)
         in
-        { b with Cfg.instrs })
+        { b with Cfg.instrs = Array.of_list instrs })
       fn.Cfg.blocks
   in
   (* Prologue and per-return epilogue for callee saves. *)
@@ -141,12 +142,12 @@ let apply (m : Machine.t) (res : Alloc_common.result) =
               match i.Instr.kind with
               | Instr.Ret _ -> epilogue () @ [ i ]
               | _ -> [ i ])
-            b.Cfg.instrs
+            (Array.to_list b.Cfg.instrs)
         in
         let instrs =
           if b.Cfg.label = fn.Cfg.entry then prologue @ instrs else instrs
         in
-        { b with Cfg.instrs })
+        { b with Cfg.instrs = Array.of_list instrs })
       blocks
   in
   {

@@ -59,7 +59,7 @@ let image_of_func (machine : Machine.t option) (fn : Cfg.func) =
   let body = Hashtbl.create 16 in
   List.iter
     (fun (b : Cfg.block) ->
-      Hashtbl.replace body b.Cfg.label (Array.of_list b.Cfg.instrs))
+      Hashtbl.replace body b.Cfg.label b.Cfg.instrs)
     fn.Cfg.blocks;
   let has_params =
     Cfg.fold_instrs fn

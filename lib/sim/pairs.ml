@@ -14,7 +14,9 @@ let fused_hi_ids (m : Machine.t) (fn : Cfg.func) =
     | _ :: rest -> scan rest
     | [] -> ()
   in
-  List.iter (fun (b : Cfg.block) -> scan b.Cfg.instrs) fn.Cfg.blocks;
+  List.iter
+    (fun (b : Cfg.block) -> scan (Array.to_list b.Cfg.instrs))
+    fn.Cfg.blocks;
   fused
 
 let count m fn = Hashtbl.length (fused_hi_ids m fn)

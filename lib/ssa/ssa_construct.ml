@@ -79,7 +79,7 @@ let run (f : Cfg.func) =
     in
     cell := (pred, version) :: !cell
   in
-  let new_body : (Instr.label, Instr.t list) Hashtbl.t = Hashtbl.create 16 in
+  let new_body : (Instr.label, Instr.t array) Hashtbl.t = Hashtbl.create 16 in
   let rec walk l =
     let b = Hashtbl.find blocks_tbl l in
     let popped = ref [] in
@@ -94,7 +94,7 @@ let run (f : Cfg.func) =
     in
     Hashtbl.replace phi_dsts l dsts;
     let body =
-      List.map
+      Array.map
         (fun i ->
           let kind = Instr.map_uses top i.Instr.kind in
           let kind =
@@ -135,7 +135,11 @@ let run (f : Cfg.func) =
               Cfg.instr f (Instr.Phi { dst; srcs }))
             (Hashtbl.find phi_dsts l)
         in
-        { Cfg.label = l; instrs = phi_instrs @ Hashtbl.find new_body l })
+        {
+          Cfg.label = l;
+          instrs =
+            Array.append (Array.of_list phi_instrs) (Hashtbl.find new_body l);
+        })
       labels
   in
   Cfg.with_blocks f blocks

@@ -53,7 +53,7 @@ let split_critical_edges (f : Cfg.func) =
                     let m = Cfg.fresh_label f in
                     Hashtbl.replace split (b.Cfg.label, target) m;
                     new_blocks :=
-                      { Cfg.label = m; instrs = [ Cfg.instr f (Instr.Jump target) ] }
+                      { Cfg.label = m; instrs = [| Cfg.instr f (Instr.Jump target) |] }
                       :: !new_blocks;
                     m
               end
@@ -63,7 +63,7 @@ let split_critical_edges (f : Cfg.func) =
             if ifso' = ifso && ifnot' = ifnot then b
             else
               let instrs =
-                List.map
+                Array.map
                   (fun i ->
                     if Instr.is_terminator i.Instr.kind then
                       {
@@ -83,7 +83,7 @@ let split_critical_edges (f : Cfg.func) =
     List.map
       (fun b ->
         let instrs =
-          List.map
+          Array.map
             (fun i ->
               match i.Instr.kind with
               | Instr.Phi { dst; srcs } ->
@@ -123,7 +123,7 @@ let run (f : Cfg.func) =
   in
   List.iter
     (fun b ->
-      List.iter
+      Array.iter
         (fun i ->
           match i.Instr.kind with
           | Instr.Phi { dst; srcs } ->
@@ -139,7 +139,7 @@ let run (f : Cfg.func) =
           List.filter
             (fun i ->
               match i.Instr.kind with Instr.Phi _ -> false | _ -> true)
-            b.Cfg.instrs
+            (Array.to_list b.Cfg.instrs)
         in
         let instrs =
           match Hashtbl.find_opt edge_copies b.Cfg.label with
@@ -159,7 +159,7 @@ let run (f : Cfg.func) =
               in
               weave instrs
         in
-        { b with Cfg.instrs })
+        { b with Cfg.instrs = Array.of_list instrs })
       f.Cfg.blocks
   in
   Cfg.with_blocks f blocks

@@ -89,7 +89,12 @@ let func m (fn : Cfg.func) =
   Cfg.with_blocks fn
     (List.map
        (fun (b : Cfg.block) ->
-         { b with Cfg.instrs = List.concat_map rewrite b.Cfg.instrs })
+         {
+           b with
+           Cfg.instrs =
+             Array.of_list
+               (List.concat_map rewrite (Array.to_list b.Cfg.instrs));
+         })
        fn.Cfg.blocks)
 
 let program m (p : Cfg.program) =

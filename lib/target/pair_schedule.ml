@@ -50,7 +50,11 @@ let rec schedule = function
 let func (fn : Cfg.func) =
   Cfg.with_blocks fn
     (List.map
-       (fun (b : Cfg.block) -> { b with Cfg.instrs = schedule b.Cfg.instrs })
+       (fun (b : Cfg.block) ->
+         {
+           b with
+           Cfg.instrs = Array.of_list (schedule (Array.to_list b.Cfg.instrs));
+         })
        fn.Cfg.blocks)
 
 let program (p : Cfg.program) =

@@ -27,7 +27,7 @@ let slot_transfer (b : Cfg.block) fact =
   | None -> None
   | Some s ->
       Some
-        (List.fold_left
+        (Array.fold_left
            (fun s (i : Instr.t) ->
              match i.Instr.kind with
              | Instr.Spill { slot; _ } -> ISet.add slot s
@@ -50,7 +50,7 @@ let check_slots (fn : Cfg.func) emit =
       match Hashtbl.find_opt sol.Slot_solver.input b.Cfg.label with
       | Some (Some init) ->
           ignore
-            (List.fold_left
+            (Array.fold_left
                (fun (init, index) (i : Instr.t) ->
                  (match i.Instr.kind with
                  | Instr.Reload { slot; _ } when not (ISet.mem slot init) ->
@@ -91,7 +91,7 @@ let func (m : Machine.t) (fn : Cfg.func) =
   in
   List.iter
     (fun (b : Cfg.block) ->
-      List.iteri
+      Array.iteri
         (fun index (i : Instr.t) ->
           let at ?reg ?severity reason fmt =
             diag ~block:b.Cfg.label ~index ~instr:i.Instr.id ?reg ?severity

@@ -4,7 +4,7 @@ let func phase (fn : Cfg.func) =
   let out = ref [] in
   let emit d = out := d :: !out in
   let name = fn.Cfg.name in
-  (match Cfg.validate fn with
+  (match Cfg.wellformed fn with
   | Ok () -> ()
   | Error msg -> emit (Diagnostic.v ~func:name Diagnostic.Structure msg));
   (* Dangling references: jumps are covered by [Cfg.validate]; check
@@ -21,7 +21,7 @@ let func phase (fn : Cfg.func) =
   let defs_seen = Reg.Tbl.create 64 in
   List.iter
     (fun (b : Cfg.block) ->
-      List.iteri
+      Array.iteri
         (fun index (i : Instr.t) ->
           let at reason msg ?reg () =
             emit

@@ -109,7 +109,7 @@ let func (m : Machine.t) ~(reference : Cfg.func) ~(alloc : Reg.t Reg.Tbl.t)
   in
   (* --- instruction pairing, per block ------------------------------- *)
   let ids instrs =
-    List.fold_left (fun s (i : Instr.t) -> ISet.add i.Instr.id s) ISet.empty
+    Array.fold_left (fun s (i : Instr.t) -> ISet.add i.Instr.id s) ISet.empty
       instrs
   in
   let pair_block (rb : Cfg.block) (fb : Cfg.block) =
@@ -168,7 +168,7 @@ let func (m : Machine.t) ~(reference : Cfg.func) ~(alloc : Reg.t Reg.Tbl.t)
             @ List.map (fun i -> Final_only i) fins
           end
     in
-    walk rb.Cfg.instrs fb.Cfg.instrs
+    walk (Array.to_list rb.Cfg.instrs) (Array.to_list fb.Cfg.instrs)
   in
   let steps_of = Hashtbl.create 16 in
   let fin_blocks = Hashtbl.create 16 in

@@ -128,7 +128,8 @@ module Ref_live = struct
         | Some extra -> Reg.Set.union live_out extra
         | None -> live_out
       in
-      List.fold_left transfer_instr live_out (List.rev b.Cfg.instrs)
+      List.fold_left transfer_instr live_out
+        (List.rev (Array.to_list b.Cfg.instrs))
     in
     let result = S.solve ~direction:Solver.Backward ~transfer f in
     { result; phi_outflow = outflow }
@@ -151,7 +152,7 @@ module Ref_live = struct
         let acc = f acc ~live_out:!live i in
         live := transfer_instr !live i;
         acc)
-      init (List.rev b.Cfg.instrs)
+      init (List.rev (Array.to_list b.Cfg.instrs))
 end
 
 module Ref_igraph = struct
@@ -285,7 +286,9 @@ module Ref_rpg = struct
       | _ :: rest -> scan acc rest
       | [] -> acc
     in
-    List.concat_map (fun (b : Cfg.block) -> scan [] b.Cfg.instrs) fn.Cfg.blocks
+    List.concat_map
+      (fun (b : Cfg.block) -> scan [] (Array.to_list b.Cfg.instrs))
+      fn.Cfg.blocks
 
   let build ?(kinds = `All) (_m : Machine.t) (fn : Cfg.func) (str : Strength.t)
       =

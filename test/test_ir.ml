@@ -169,13 +169,19 @@ let test_validate_rejects () =
   (* Block without terminator. *)
   let bad1 =
     Cfg.with_blocks fn
-      [ { Cfg.label = 0; instrs = [ Cfg.instr fn (Instr.Const { dst = v 0; value = 0L }) ] } ]
+      [
+        {
+          Cfg.label = 0;
+          instrs = [| Cfg.instr fn (Instr.Const { dst = v 0; value = 0L }) |];
+        };
+      ]
   in
   check Alcotest.bool "no terminator rejected" true
     (Result.is_error (Cfg.validate bad1));
   (* Branch to a missing block. *)
   let bad2 =
-    Cfg.with_blocks fn [ { Cfg.label = 0; instrs = [ Cfg.instr fn (Instr.Jump 42) ] } ]
+    Cfg.with_blocks fn
+      [ { Cfg.label = 0; instrs = [| Cfg.instr fn (Instr.Jump 42) |] } ]
   in
   check Alcotest.bool "dangling target rejected" true
     (Result.is_error (Cfg.validate bad2));
@@ -186,17 +192,73 @@ let test_validate_rejects () =
         {
           Cfg.label = 0;
           instrs =
-            [ Cfg.instr fn (Instr.Ret None); Cfg.instr fn (Instr.Ret None) ];
+            [| Cfg.instr fn (Instr.Ret None); Cfg.instr fn (Instr.Ret None) |];
         };
       ]
   in
   check Alcotest.bool "mid-block terminator rejected" true
     (Result.is_error (Cfg.validate bad3))
 
+let rejects name f =
+  check Alcotest.bool name true
+    (match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_mk_block_invariants () =
+  let fn = Cfg.create_func ~name:"mk" ~n_params:0 ~entry:0 in
+  let term () = Cfg.instr fn (Instr.Ret None) in
+  let konst () = Cfg.instr fn (Instr.Const { dst = v 0; value = 1L }) in
+  (* A terminator-only block is the smallest legal block. *)
+  let b = Cfg.mk_block 0 [| term () |] in
+  check Alcotest.int "terminator-only" 1 (Array.length b.Cfg.instrs);
+  let b2 = Cfg.mk_block_of_list 1 [ konst (); term () ] in
+  check Alcotest.int "of_list" 2 (Array.length b2.Cfg.instrs);
+  rejects "empty block" (fun () -> Cfg.mk_block 0 [||]);
+  rejects "no terminator" (fun () -> Cfg.mk_block 0 [| konst () |]);
+  rejects "mid-block terminator" (fun () ->
+      Cfg.mk_block 0 [| term (); konst (); term () |])
+
+let test_dense_numbering () =
+  let fn, _, _, _, _ = straightline () in
+  check Alcotest.int "n_instrs" 5 (Cfg.n_instrs fn);
+  let k = ref 0 in
+  Cfg.iter_instrs fn (fun _ i ->
+      check Alcotest.int
+        (Printf.sprintf "index of instr %d" i.Instr.id)
+        !k (Cfg.instr_index fn i);
+      check Alcotest.int "instr_at round trip" i.Instr.id
+        (Cfg.instr_at fn !k).Instr.id;
+      incr k);
+  check Alcotest.int "absent id maps to -1" (-1)
+    (Cfg.instr_index_of_id fn 999_999);
+  (* Body rewrites invalidate the cached numbering; the rebuilt one
+     covers the new instructions. *)
+  let fn2 = Cfg.map_instrs fn (fun i -> i.Instr.kind) in
+  check Alcotest.int "renumbered size" 5 (Cfg.n_instrs fn2)
+
+let test_wellformed_entry_first () =
+  let fn = Cfg.create_func ~name:"wf" ~n_params:0 ~entry:1 in
+  let blocks_entry_second =
+    [
+      Cfg.mk_block 0 [| Cfg.instr fn (Instr.Ret None) |];
+      Cfg.mk_block 1 [| Cfg.instr fn (Instr.Jump 0) |];
+    ]
+  in
+  let bad = Cfg.with_blocks fn blocks_entry_second in
+  check Alcotest.bool "validate accepts entry-second" true
+    (Result.is_ok (Cfg.validate bad));
+  check Alcotest.bool "wellformed rejects entry-second" true
+    (Result.is_error (Cfg.wellformed bad));
+  let good = Cfg.with_blocks fn (List.rev blocks_entry_second) in
+  check Alcotest.bool "wellformed accepts entry-first" true
+    (Result.is_ok (Cfg.wellformed good))
+
 let test_validate_missing_entry () =
   let fn = Cfg.create_func ~name:"bad" ~n_params:0 ~entry:0 in
   let bad =
-    Cfg.with_blocks fn [ { Cfg.label = 1; instrs = [ Cfg.instr fn (Instr.Ret None) ] } ]
+    Cfg.with_blocks fn
+      [ { Cfg.label = 1; instrs = [| Cfg.instr fn (Instr.Ret None) |] } ]
   in
   check Alcotest.bool "missing entry rejected" true
     (Result.is_error (Cfg.validate bad))
@@ -287,6 +349,9 @@ let () =
           tc "successors and predecessors" test_successors_preds;
           tc "reverse postorder" test_reverse_postorder;
           tc "validate rejects malformed blocks" test_validate_rejects;
+          tc "mk_block enforces block invariants" test_mk_block_invariants;
+          tc "dense instruction numbering" test_dense_numbering;
+          tc "wellformed requires entry first" test_wellformed_entry_first;
           tc "validate rejects missing entry" test_validate_missing_entry;
           tc "clone isolates metadata" test_clone_isolation;
           tc "all_vregs" test_all_vregs;

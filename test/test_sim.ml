@@ -139,10 +139,10 @@ let test_limited_fixup_dynamic () =
         {
           Cfg.label = 0;
           instrs =
-            [
+            [|
               Cfg.instr fn (Instr.Limited { dst; src });
               Cfg.instr fn (Instr.Ret (Some dst));
-            ];
+            |];
         };
       ]
   in
@@ -167,12 +167,12 @@ let test_paired_load_fusion_dynamic () =
         {
           Cfg.label = 0;
           instrs =
-            [
+            [|
               Cfg.instr fn (Instr.Load { dst = Reg.phys Reg.Int_class lo; base; offset = 0 });
               Cfg.instr fn
                 (Instr.Load { dst = Reg.phys Reg.Int_class hi; base; offset = 8 });
               Cfg.instr fn (Instr.Ret None);
-            ];
+            |];
         };
       ]
   in
@@ -214,10 +214,10 @@ let test_finalize_callee_saves () =
         {
           Cfg.label = 0;
           instrs =
-            [
+            [|
               Cfg.instr fn (Instr.Const { dst = nonvol; value = 3L });
               Cfg.instr fn (Instr.Ret (Some nonvol));
-            ];
+            |];
         };
       ]
   in
@@ -273,7 +273,7 @@ let test_checker_rejects_virtual () =
   let v = Cfg.fresh_reg fn Reg.Int_class in
   let fn =
     Cfg.with_blocks fn
-      [ { Cfg.label = 0; instrs = [ Cfg.instr fn (Instr.Ret (Some v)) ] } ]
+      [ { Cfg.label = 0; instrs = [| Cfg.instr fn (Instr.Ret (Some v)) |] } ]
   in
   check Alcotest.bool "rejected" true
     (Result.is_error (Check.machine_func m fn))
@@ -284,7 +284,7 @@ let test_checker_rejects_out_of_file () =
   let r12 = Reg.phys Reg.Int_class 12 in
   let fn =
     Cfg.with_blocks fn
-      [ { Cfg.label = 0; instrs = [ Cfg.instr fn (Instr.Ret (Some r12)) ] } ]
+      [ { Cfg.label = 0; instrs = [| Cfg.instr fn (Instr.Ret (Some r12)) |] } ]
   in
   check Alcotest.bool "rejected" true
     (Result.is_error (Check.machine_func m fn))
@@ -298,7 +298,8 @@ let test_static_cost_weighted () =
   let body_cost =
     List.fold_left
       (fun acc i -> acc + Costs.inst_cost i.Instr.kind)
-      0 (Cfg.block fn body).Cfg.instrs
+      0
+      (Array.to_list (Cfg.block fn body).Cfg.instrs)
   in
   check Alcotest.bool "cost includes weighted body" true
     (cost >= 10 * body_cost)

@@ -39,7 +39,7 @@ let test_construct_loop () =
       (List.filter
          (fun i ->
            match i.Instr.kind with Instr.Phi _ -> true | _ -> false)
-         (Cfg.block ssa header).Cfg.instrs)
+         (Array.to_list (Cfg.block ssa header).Cfg.instrs))
   in
   check Alcotest.int "two phis at header" 2 header_phis
 
@@ -111,6 +111,49 @@ let prop_destruct_no_critical_edges =
           Result.is_ok (Cfg.validate out) && count_phis out = 0)
         p.Cfg.funcs)
 
+let test_destruct_splits_critical_edge () =
+  (* Hand-built CFG with a critical edge (L0 -> L2: L0 branches, L2
+     joins) and a terminator-only join block.  Construction must weave
+     a phi into the single-instruction join; destruction must split
+     the edge with a fresh jump-only block and weave the copy in front
+     of its terminator. *)
+  let fn = Cfg.create_func ~name:"crit" ~n_params:0 ~entry:0 in
+  let x = Cfg.fresh_reg fn Reg.Int_class in
+  let c = Cfg.fresh_reg fn Reg.Int_class in
+  let l1 = Cfg.fresh_label fn in
+  let l2 = Cfg.fresh_label fn in
+  let fn =
+    Cfg.with_blocks fn
+      [
+        Cfg.mk_block 0
+          [|
+            Cfg.instr fn (Instr.Const { dst = x; value = 10L });
+            Cfg.instr fn (Instr.Const { dst = c; value = 0L });
+            Cfg.instr fn (Instr.Branch { cond = c; ifso = l1; ifnot = l2 });
+          |];
+        Cfg.mk_block l1
+          [|
+            Cfg.instr fn (Instr.Const { dst = x; value = 20L });
+            Cfg.instr fn (Instr.Jump l2);
+          |];
+        Cfg.mk_block l2 [| Cfg.instr fn (Instr.Ret (Some x)) |];
+      ]
+  in
+  let p = { Cfg.funcs = [ fn ]; main = fn.Cfg.name } in
+  let before = Interp.run p in
+  let ssa = Ssa_construct.run (Cfg.clone fn) in
+  check Alcotest.int "phi in terminator-only join" 1 (count_phis ssa);
+  let out = Ssa_destruct.run ssa in
+  check Alcotest.bool "wellformed" true (Result.is_ok (Cfg.wellformed out));
+  check Alcotest.int "no phis left" 0 (count_phis out);
+  check Alcotest.bool "critical edge split" true
+    (List.length out.Cfg.blocks > 3);
+  let after = Interp.run { p with Cfg.funcs = [ out ] } in
+  check Alcotest.bool "same result" true
+    (Interp.equal_value before.Interp.value after.Interp.value);
+  check Alcotest.bool "result is 10" true
+    (Interp.equal_value before.Interp.value (Some (Interp.Int 10)))
+
 (* Parallel-copy sequentialization -------------------------------------- *)
 
 let run_copies copies env0 =
@@ -177,6 +220,17 @@ let test_sequentialize_self () =
   check Alcotest.int "self copy dropped" 0 (List.length seq);
   check Alcotest.int "no temp needed" 0 !counter
 
+let test_sequentialize_cycle_with_tail () =
+  (* A swap cycle with a chain copy hanging off it: the cycle breaks
+     through a temp, and the tail copy must still read the pre-swap
+     value of v1. *)
+  let env0 = Hashtbl.create 4 in
+  List.iteri (fun i x -> Hashtbl.replace env0 (v (i + 1)) x) [ 1; 2 ];
+  let env = run_copies [ (v 1, v 2); (v 2, v 1); (v 3, v 1) ] env0 in
+  check Alcotest.int "v1 swapped" 2 (Hashtbl.find env (v 1));
+  check Alcotest.int "v2 swapped" 1 (Hashtbl.find env (v 2));
+  check Alcotest.int "v3 reads old v1" 1 (Hashtbl.find env (v 3))
+
 let prop_sequentialize_matches_parallel =
   let gen =
     QCheck2.Gen.(
@@ -211,6 +265,7 @@ let () =
       ( "destruct",
         [
           tc "removes phis" test_destruct_removes_phis;
+          tc "splits critical edge, tiny blocks" test_destruct_splits_critical_edge;
           tc "diamond semantics" test_roundtrip_semantics_diamond;
           tc "loop semantics" test_roundtrip_semantics_loop;
           prop_roundtrip_preserves_semantics;
@@ -222,6 +277,7 @@ let () =
           tc "chain" test_sequentialize_chain;
           tc "swap" test_sequentialize_swap;
           tc "three-cycle" test_sequentialize_cycle3;
+          tc "cycle with tail copy" test_sequentialize_cycle_with_tail;
           tc "self copy" test_sequentialize_self;
           prop_sequentialize_matches_parallel;
         ] );

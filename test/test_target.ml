@@ -101,7 +101,7 @@ let test_lower_params () =
         match i.Instr.kind with
         | Instr.Move { dst; src } when Reg.is_phys src -> Some (dst, src)
         | _ -> None)
-      entry.Cfg.instrs
+      (Array.to_list entry.Cfg.instrs)
   in
   check Alcotest.bool "int param from int arg0" true
     (List.mem (x, Machine.arg_reg m Reg.Int_class 0) moves);
@@ -231,6 +231,7 @@ let test_pair_schedule_hoists () =
   let fn' = Pair_schedule.func fn in
   let kinds =
     (Cfg.block fn' fn'.Cfg.entry).Cfg.instrs
+    |> Array.to_list
     |> List.map (fun i -> i.Instr.kind)
   in
   (match kinds with
@@ -257,6 +258,7 @@ let test_pair_schedule_blocked_by_store () =
   let fn' = Pair_schedule.func fn in
   let kinds =
     (Cfg.block fn' fn'.Cfg.entry).Cfg.instrs
+    |> Array.to_list
     |> List.map (fun i -> i.Instr.kind)
   in
   match kinds with

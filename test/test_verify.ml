@@ -35,12 +35,13 @@ let delete_trivial_moves (fn : Cfg.func) =
          {
            bk with
            Cfg.instrs =
-             List.filter
-               (fun (i : Instr.t) ->
-                 match i.Instr.kind with
-                 | Instr.Move { dst; src } -> not (Reg.equal dst src)
-                 | _ -> true)
-               bk.Cfg.instrs;
+             Array.of_list
+               (List.filter
+                  (fun (i : Instr.t) ->
+                    match i.Instr.kind with
+                    | Instr.Move { dst; src } -> not (Reg.equal dst src)
+                    | _ -> true)
+                  (Array.to_list bk.Cfg.instrs));
          })
        fn.Cfg.blocks)
 
@@ -63,7 +64,10 @@ let fuse_adjacent (fn : Cfg.func) =
            | i :: rest -> i :: go rest
            | [] -> []
          in
-         { bk with Cfg.instrs = go bk.Cfg.instrs })
+         {
+           bk with
+           Cfg.instrs = Array.of_list (go (Array.to_list bk.Cfg.instrs));
+         })
        fn.Cfg.blocks)
 
 (* --- negative cases --------------------------------------------------- *)
@@ -215,6 +219,23 @@ let test_lint_phases () =
     "virtuals flagged as machine code" true
     (has_error Diagnostic.Not_allocatable (Lint.func (Lint.Machine m8) fn))
 
+let test_lint_rejects_entry_not_first () =
+  (* [Cfg.validate] tolerates the entry block appearing later in the
+     block list, but the linter's [Cfg.wellformed] check does not: the
+     whole pipeline keeps the entry first, and passes (builder,
+     numbering, block-order traversals) rely on it. *)
+  let fn = Cfg.create_func ~name:"entry2nd" ~n_params:0 ~entry:1 in
+  let bad =
+    Cfg.with_blocks fn
+      [
+        Cfg.mk_block 0 [| Cfg.instr fn (Instr.Ret None) |];
+        Cfg.mk_block 1 [| Cfg.instr fn (Instr.Jump 0) |];
+      ]
+  in
+  Alcotest.(check bool)
+    "entry-not-first flagged" true
+    (has_error Diagnostic.Structure (Lint.func Lint.Prepared bad))
+
 (* --- positive sweep --------------------------------------------------- *)
 
 let sweep name k =
@@ -260,6 +281,7 @@ let () =
           tc "parity-violating pair" test_rejects_parity_violating_pair;
           tc "missing callee save" test_rejects_unsaved_callee_save;
           tc "duplicate slot metadata" test_rejects_duplicate_slot_metadata;
+          tc "entry block not first" test_lint_rejects_entry_not_first;
         ] );
       ( "positive",
         [
