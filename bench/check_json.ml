@@ -15,8 +15,13 @@
    - "pdgc-bench/3" and later: a non-empty "core" array of per-phase
      timing rows (same shape as bechamel rows) for the dense PDGC
      core, and at least one bechamel row that times a pdgc variant;
-   - "pdgc-bench/4": the "core" array also carries the analysis-phase
-     rows (webs, liveness, igraph) alongside rpg/cpg/select.
+   - "pdgc-bench/4" and later: the "core" array also carries the
+     analysis-phase rows (webs, liveness, igraph) alongside
+     rpg/cpg/select;
+   - "pdgc-bench/5": a non-empty "analysis" array of per-input SSA
+     pressure-certification rows (input, k, funcs, maxlive_int,
+     maxlive_float, certified_funcs).  These are static stats, not
+     timings, so the --prev diff ignores them.
 
    With [--prev PREV], additionally diffs FILE against the previous
    trajectory file PREV: every row recorded in both files (bechamel
@@ -220,6 +225,7 @@ let check_schema = function
         | Some (Str "pdgc-bench/2") -> 2
         | Some (Str "pdgc-bench/3") -> 3
         | Some (Str "pdgc-bench/4") -> 4
+        | Some (Str "pdgc-bench/5") -> 5
         | Some (Str s) -> raise (Bad (Printf.sprintf "unknown schema %S" s))
         | Some _ -> raise (Bad "schema is not a string")
         | None -> 1
@@ -240,6 +246,34 @@ let check_schema = function
               then raise (Bad (Printf.sprintf "no %s core row" phase)))
             [ "webs"; "liveness"; "igraph"; "rpg"; "cpg"; "select" ]
       end;
+      if version >= 5 then (
+        match find "analysis" with
+        | Arr [] -> raise (Bad "empty analysis array")
+        | Arr rows ->
+            List.iter
+              (function
+                | Obj r ->
+                    (match List.assoc_opt "input" r with
+                    | Some (Str _) -> ()
+                    | _ -> raise (Bad "analysis row lacks an input"));
+                    List.iter
+                      (fun key ->
+                        match List.assoc_opt key r with
+                        | Some (Num _) -> ()
+                        | _ ->
+                            raise
+                              (Bad
+                                 (Printf.sprintf "analysis row lacks %S" key)))
+                      [
+                        "k";
+                        "funcs";
+                        "maxlive_int";
+                        "maxlive_float";
+                        "certified_funcs";
+                      ]
+                | _ -> raise (Bad "analysis row is not an object"))
+              rows
+        | _ -> raise (Bad "analysis is not an array"));
       (match find "suite_scale" with
       | Arr rows ->
           List.iter

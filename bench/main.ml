@@ -15,7 +15,11 @@
       per-phase trajectory the dense-core refactor regresses against;
    3. time whole allocator runs on larger Workload.Gen programs
       (2-5k instructions) — the suite-scale wall times that future PRs
-      regress against.
+      regress against;
+   4. record the SSA MAXLIVE/pressure-certification stats for the
+      figure inputs (the "analysis" JSON group, schema pdgc-bench/5) —
+      the static trajectory the ROADMAP's spill-then-color allocator
+      will certify itself against.
 
    Flags:
      --figures-only   regenerate figures, skip all timings;
@@ -334,6 +338,56 @@ let run_suite_scale ~smoke ~jobs_modes ~algos =
     jobs_modes;
   rows
 
+(* --- MAXLIVE / pressure-certification stats ---------------------------- *)
+
+(* Static pressure statistics for the figure inputs (fig9: jess k16,
+   fig10: mtrt k24, fig11: jack k24), measured on SSA form where
+   MAXLIVE <= k certifies spill-free greedy chordal coloring — the
+   trajectory the ROADMAP's ninth (spill-then-color) allocator will be
+   judged against.  Deterministic, so rows recorded in the bench JSON
+   must be bit-for-bit stable across hosts. *)
+type analysis_row = {
+  input : string;
+  a_k : int;
+  funcs : int;
+  maxlive_int : int;
+  maxlive_float : int;
+  certified_funcs : int;
+}
+
+let run_analysis_stats () =
+  let rows =
+    List.map
+      (fun (input, a_k) ->
+        let p = Suite.program input in
+        let stats =
+          List.map
+            (fun f -> Maxlive.compute (Ssa_construct.run f))
+            p.Cfg.funcs
+        in
+        {
+          input;
+          a_k;
+          funcs = List.length stats;
+          maxlive_int =
+            List.fold_left (fun acc s -> max acc s.Maxlive.max_int) 0 stats;
+          maxlive_float =
+            List.fold_left (fun acc s -> max acc s.Maxlive.max_float) 0 stats;
+          certified_funcs =
+            List.length (List.filter (Maxlive.certified ~k:a_k) stats);
+        })
+      [ ("jess", 16); ("mtrt", 24); ("jack", 24) ]
+  in
+  print_endline "== SSA pressure certification (MAXLIVE vs k) ==";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-10s k%-3d %3d funcs  maxlive int=%-3d float=%-3d  certified %d/%d\n"
+        r.input r.a_k r.funcs r.maxlive_int r.maxlive_float r.certified_funcs
+        r.funcs)
+    rows;
+  rows
+
 (* --- JSON emission ----------------------------------------------------- *)
 
 let json_escape s =
@@ -350,7 +404,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json file ~smoke ~bechamel ~scale =
+let write_json file ~smoke ~bechamel ~scale ~analysis =
   (* The "core " name prefix (the Bechamel group) routes per-phase rows
      into their own JSON section. *)
   let is_core (name, _) =
@@ -373,7 +427,7 @@ let write_json file ~smoke ~bechamel ~scale =
       rows
   in
   out "{\n";
-  out "  \"schema\": \"pdgc-bench/4\",\n";
+  out "  \"schema\": \"pdgc-bench/5\",\n";
   out "  \"smoke\": %b,\n" smoke;
   out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"bechamel\": [\n";
@@ -392,6 +446,17 @@ let write_json file ~smoke ~bechamel ~scale =
         (json_escape r.workload) r.instrs (json_escape r.algo_key) r.k r.jobs
         r.wall_s sep)
     scale;
+  out "  ],\n";
+  out "  \"analysis\": [\n";
+  List.iteri
+    (fun i r ->
+      let sep = if i = List.length analysis - 1 then "" else "," in
+      out
+        "    {\"input\": \"%s\", \"k\": %d, \"funcs\": %d, \"maxlive_int\": \
+         %d, \"maxlive_float\": %d, \"certified_funcs\": %d}%s\n"
+        (json_escape r.input) r.a_k r.funcs r.maxlive_int r.maxlive_float
+        r.certified_funcs sep)
+    analysis;
   out "  ]\n";
   out "}\n";
   close_out oc;
@@ -440,7 +505,8 @@ let () =
   if bench then begin
     let bechamel = run_bechamel ~smoke in
     let scale = run_suite_scale ~smoke ~jobs_modes ~algos in
+    let analysis = run_analysis_stats () in
     match json with
-    | Some file -> write_json file ~smoke ~bechamel ~scale
+    | Some file -> write_json file ~smoke ~bechamel ~scale ~analysis
     | None -> ()
   end

@@ -66,7 +66,7 @@ let fig11_cmd =
   Cmd.v (Cmd.info "fig11" ~doc) Term.(const run $ jobs_arg)
 
 let ablation_cmd =
-  let doc = "Ablation study of the design choices (DESIGN.md section 6)." in
+  let doc = "Ablation study of the design choices (DESIGN.md section 7)." in
   let run jobs =
     Format.fprintf ppf "%a@." Ablation.print (Ablation.run ~jobs ())
   in

@@ -1,14 +1,57 @@
 (* Run the static allocation verifier over every allocator on the whole
-   workload suite and print a summary table.  Exits non-zero if any
-   allocation fails verification — wired into `dune runtest` through the
-   @verify alias. *)
+   workload suite and print a summary table.  Wired into `dune runtest`
+   through the @verify alias.
+
+   Exit codes: 0 = every allocation verified, 1 = verification errors
+   found, 2 = bad usage / unknown benchmark (the regression rule in
+   bin/dune pins the latter). *)
+
+let usage ppf =
+  Format.fprintf ppf
+    "usage: verify_all [BENCHMARK ...] [--jobs N]@.\
+     benchmarks: %s (default: all)@."
+    (String.concat ", " Suite.names)
+
+let bad fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "verify_all: %s@." msg;
+      usage Format.err_formatter;
+      exit 2)
+    fmt
 
 (* Register-file size per benchmark, mirroring the end-to-end tests:
    the FP-heavy programs run at moderate pressure, the rest at high. *)
 let k_of name = if List.mem name Suite.fp_names then 24 else 16
 
 let () =
-  let bad = ref 0 in
+  let benches = ref [] in
+  let jobs = ref (Engine.default_jobs ()) in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+        usage Format.std_formatter;
+        exit 0
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n when n >= 1 ->
+            jobs := n;
+            parse rest
+        | _ -> bad "--jobs expects a positive integer, got %S" n)
+    | [ "--jobs" ] -> bad "missing argument for --jobs"
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        bad "unknown option %S" arg
+    | name :: rest ->
+        if not (List.mem name Suite.names) then
+          bad "unknown benchmark %S" name;
+        benches := name :: !benches;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let benches =
+    match List.rev !benches with [] -> Suite.names | names -> names
+  in
+  let bad_allocs = ref 0 in
   Format.printf "%-12s %-12s %8s %8s  %s@." "benchmark" "allocator" "errors"
     "warnings" "status";
   List.iter
@@ -18,30 +61,27 @@ let () =
       let p = Pipeline.prepare m (Suite.program name) in
       List.iter
         (fun (algo : Allocator.t) ->
-          match Pipeline.allocate_program algo m p with
+          match Pipeline.allocate_program ~jobs:!jobs algo m p with
           | a ->
               let ds = Pipeline.verify_allocated a in
               let errors = Diagnostic.errors ds in
-              let warnings =
-                List.length ds - List.length errors
-              in
+              let warnings = List.length ds - List.length errors in
               let ok = errors = [] in
-              if not ok then incr bad;
-              Format.printf "%-12s %-12s %8d %8d  %s@." name algo.Allocator.name
-                (List.length errors) warnings
+              if not ok then incr bad_allocs;
+              Format.printf "%-12s %-12s %8d %8d  %s@." name
+                algo.Allocator.name (List.length errors) warnings
                 (if ok then "ok" else "FAIL");
-              if not ok then
-                Format.printf "%a" Diagnostic.report errors
+              if not ok then Format.printf "%a" Verify.report errors
           | exception Alloc_common.Failed msg ->
               (* The priority-based extension cannot always allocate at
                  low k; an allocator giving up is not a verifier error. *)
-              Format.printf "%-12s %-12s %8s %8s  %s@." name algo.Allocator.name
-                "-" "-"
-                ("skipped: " ^ msg))
+              Format.printf "%-12s %-12s %8s %8s  %s@." name
+                algo.Allocator.name "-" "-" ("skipped: " ^ msg))
         (Allocator.all ()))
-    Suite.names;
-  if !bad > 0 then begin
-    Format.printf "@.%d allocation(s) failed static verification@." !bad;
+    benches;
+  if !bad_allocs > 0 then begin
+    Format.printf "@.%d allocation(s) failed static verification@."
+      !bad_allocs;
     exit 1
   end;
   Format.printf "@.all allocations verified@."

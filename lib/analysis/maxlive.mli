@@ -1,0 +1,22 @@
+(** Register-pressure measurement: MAXLIVE per register class.
+
+    MAXLIVE is the maximum number of same-class registers
+    simultaneously live at any program point.  Its significance on SSA
+    form is Bouchez/Darte/Rastello's: the interference graph of an SSA
+    program is chordal, so MAXLIVE equals the chromatic number and
+    [MAXLIVE <= k] certifies that a greedy coloring along the dominator
+    tree succeeds with no spill — the gating fact for a spill-then-color
+    allocator.  On non-SSA code the number is still the sharp lower
+    bound on any allocation's register need. *)
+
+type t = { max_int : int; max_float : int }
+
+val compute : ?live:Liveness.t -> Cfg.func -> t
+(** Pressure maxima over every block boundary and instruction point.
+    [live] reuses an existing liveness result instead of recomputing. *)
+
+val certified : k:int -> t -> bool
+(** [true] iff both class maxima fit in [k] registers, i.e. greedy
+    chordal coloring is guaranteed on SSA form. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+(** Static-analysis pass framework.
+
+    A pass inspects one function at one pipeline phase and reports
+    {!Diagnostic.t} values; it never rewrites code.  Passes register
+    themselves in a global registry — the same shape as the
+    {!Allocator} registry — so drivers ([bin/analyze], the pipeline's
+    phase-contract hook) can run "everything registered for this
+    phase" without naming the passes.
+
+    The four phases mirror the pipeline's stage boundaries:
+
+    - [Ssa]: after SSA construction, before destruction;
+    - [Prepared]: after lowering and pair scheduling — allocator input;
+    - [Allocated]: an allocator's [Alloc_common.result], pre-finalize
+      (the body is web-renamed, spill code inserted, still virtual);
+    - [Machine]: finalized machine code.
+
+    The shared {!ctx} gives passes the expensive analyses lazily:
+    cheap structural passes force nothing, dataflow passes force only
+    liveness or reaching, and the preference-graph pass forces the full
+    {!Alloc_common.analysis} (liveness, interference graph, spill
+    costs, loop forest) exactly once per function. *)
+
+type phase = Ssa | Prepared | Allocated | Machine
+
+val phase_label : phase -> string
+val phase_of_string : string -> phase option
+
+type ctx = {
+  machine : Machine.t option;
+      (** [None] only for phase-[Ssa] runs before a machine is chosen;
+          passes needing one skip silently. *)
+  result : Alloc_common.result option;
+      (** The allocator result under inspection; [Some] only at
+          [Allocated]. *)
+  live : Liveness.t Lazy.t;
+  reaching : Reaching.t Lazy.t;
+  analysis : Alloc_common.analysis Lazy.t;
+      (** Full per-round analysis context of the function —
+          recomputed, not shared with the allocator's own rounds. *)
+}
+
+val ctx : ?machine:Machine.t -> ?result:Alloc_common.result -> Cfg.func -> ctx
+(** Context for one function; every lazy analysis is over that
+    function. *)
+
+type t = {
+  name : string;
+  phase : phase;
+  doc : string;  (** one-line description for [--pass] listings *)
+  run : ctx -> Cfg.func -> Diagnostic.t list;
+}
+
+val v :
+  name:string ->
+  phase:phase ->
+  doc:string ->
+  (ctx -> Cfg.func -> Diagnostic.t list) ->
+  t
+
+(** {2 Registry} *)
+
+val register : t -> unit
+(** @raise Invalid_argument on a duplicate name. *)
+
+val find : string -> t option
+val all : unit -> t list
+val for_phase : phase -> t list
+val names : unit -> string list

@@ -1,0 +1,52 @@
+(** The built-in static-analysis passes.
+
+    Loading this module registers every pass below in the {!Pass}
+    registry (the same pattern as {!Pipeline} and the allocator
+    registry).  Drivers that resolve passes by name must link against
+    it — use {!all} or {!for_phase} to force the dependency.
+
+    Phase [Ssa]:
+    - [lint-ssa]: structural well-formedness under SSA ({!Lint});
+    - [ssa-pressure]: MAXLIVE-vs-K certification ({!Maxlive}) — warns
+      when pressure exceeds the register file, i.e. greedy chordal
+      coloring is not guaranteed and a spill-then-color allocator must
+      lower pressure first.
+
+    Phase [Prepared] (allocator input):
+    - [lint-prepared]: structural well-formedness after lowering;
+    - [use-before-def]: a virtual use no definition reaches
+      ({!Reaching});
+    - [dead-store]: a side-effect-free definition never observed
+      ({!Liveness});
+    - [unreachable-block]: blocks unreachable from the entry;
+    - [rpg-consistency]: the register preference graph against the
+      interference graph — coalesce edges must be mirrored and target
+      live nodes, memory preferences must carry positive strength;
+      copies between interfering live ranges are flagged as warnings
+      (the builder records them, coalescing can never honor them).
+
+    Phase [Allocated] (allocator result, pre-finalize):
+    - [spill-slots]: slot metadata vs. body traffic — double-booked
+      slots, spill traffic on slots missing from the metadata (leaks),
+      reloads from slots never stored.
+
+    Phase [Machine]:
+    - [lint-machine]: well-formedness plus allocatability of the
+      finalized code. *)
+
+val lint_ssa : Pass.t
+val ssa_pressure : Pass.t
+val lint_prepared : Pass.t
+val use_before_def : Pass.t
+val dead_store : Pass.t
+val unreachable_block : Pass.t
+val rpg_consistency : Pass.t
+val spill_slots : Pass.t
+val lint_machine : Pass.t
+
+val all : Pass.t list
+(** Every built-in, in registry order. *)
+
+val for_phase : Pass.phase -> Pass.t list
+(** Registered passes of a phase — [Pass.for_phase] with the builtin
+    registration forced. *)

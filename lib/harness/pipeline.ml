@@ -29,11 +29,40 @@ let algos =
 let all_algos = algos @ [ priority_based ]
 let () = List.iter Allocator.register all_algos
 
-let prepare m (p : Cfg.program) =
-  let funcs =
-    List.map (fun f -> Ssa_destruct.run (Ssa_construct.run f)) p.Cfg.funcs
+(* Phase contracts: run every pass registered for a phase over one
+   function; error-severity diagnostics abort the run the same way
+   [~verify] failures do.  Warnings (pressure, dead code) pass. *)
+let check_phase ~machine ?result ~what phase fn =
+  let ctx = Pass.ctx ~machine ?result fn in
+  let diags =
+    List.concat_map
+      (fun (p : Pass.t) -> p.Pass.run ctx fn)
+      (Passes.for_phase phase)
   in
-  Pair_schedule.program (Lower.program m { p with Cfg.funcs })
+  match Diagnostic.errors diags with
+  | [] -> ()
+  | errors ->
+      raise
+        (Alloc_common.Failed
+           (Format.asprintf "%s: %s phase contract violated:@.%a" what
+              (Pass.phase_label phase) Verify.report errors))
+
+let prepare ?(check_phases = false) m (p : Cfg.program) =
+  let funcs =
+    List.map
+      (fun f ->
+        let ssa = Ssa_construct.run f in
+        if check_phases then
+          check_phase ~machine:m ~what:"prepare" Pass.Ssa ssa;
+        Ssa_destruct.run ssa)
+      p.Cfg.funcs
+  in
+  let prepared = Pair_schedule.program (Lower.program m { p with Cfg.funcs }) in
+  if check_phases then
+    List.iter
+      (check_phase ~machine:m ~what:"prepare" Pass.Prepared)
+      prepared.Cfg.funcs;
+  prepared
 
 type allocated = {
   machine : Machine.t;
@@ -51,21 +80,32 @@ let verify_allocated (a : allocated) =
     (fun (res, t) -> Verify.result a.machine res ~final:t.Finalize.func)
     (List.combine a.results a.finals)
 
-let allocate_program ?(verify = false) ?jobs (algo : Allocator.t) m
-    (p : Cfg.program) =
+let allocate_program ?(verify = false) ?(check_phases = false) ?jobs
+    (algo : Allocator.t) m (p : Cfg.program) =
   let jobs =
     match jobs with Some j -> max 1 j | None -> Engine.default_jobs ()
   in
   (* One job per function: allocate and finalize, all scratch state
      owned by the job (the Allocator domain-safety contract).  Results
      come back in original function order, so the parallel path is
-     bit-for-bit the sequential one. *)
+     bit-for-bit the sequential one.  Phase contracts run inside the
+     job too — each stage boundary (input, allocator result, machine
+     code) is checked where the data already is. *)
   let pairs =
     Engine.map ~jobs
       (fun ~worker f ->
+        let what = algo.Allocator.name in
+        if check_phases then
+          check_phase ~machine:m ~what Pass.Prepared f;
         let ctx = { Allocator.worker; jobs } in
         let res = algo.Allocator.run ctx m f in
-        (res, Finalize.apply m res))
+        if check_phases then
+          check_phase ~machine:m ~result:res ~what Pass.Allocated
+            res.Alloc_common.func;
+        let fin = Finalize.apply m res in
+        if check_phases then
+          check_phase ~machine:m ~what Pass.Machine fin.Finalize.func;
+        (res, fin))
       p.Cfg.funcs
   in
   let results = List.map fst pairs in

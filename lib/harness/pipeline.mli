@@ -29,7 +29,11 @@ val all_algos : Allocator.t list
 (** [algos] plus the priority-based extension — exactly the registry
     contents, in registration order. *)
 
-val prepare : Machine.t -> Cfg.program -> Cfg.program
+val prepare : ?check_phases:bool -> Machine.t -> Cfg.program -> Cfg.program
+(** With [check_phases] (default [false]), the registered phase-[Ssa]
+    passes run over each function's SSA snapshot and the phase-
+    [Prepared] passes over the lowered result; error diagnostics raise
+    {!Alloc_common.Failed}. *)
 
 type allocated = {
   machine : Machine.t;
@@ -43,15 +47,26 @@ type allocated = {
 }
 
 val allocate_program :
-  ?verify:bool -> ?jobs:int -> Allocator.t -> Machine.t -> Cfg.program -> allocated
+  ?verify:bool ->
+  ?check_phases:bool ->
+  ?jobs:int ->
+  Allocator.t ->
+  Machine.t ->
+  Cfg.program ->
+  allocated
 (** With [verify] (default [false]), every allocated function is run
     through the static verifier ({!Verify.result}) and error-severity
-    diagnostics fail the allocation.  [jobs] (default
-    [Engine.default_jobs ()], i.e. [PDGC_JOBS] or 1) sets the worker
-    pool size; results are merged back in function order, so any
-    [jobs] value produces bit-for-bit the sequential output.
-    @raise Alloc_common.Failed on allocator failure or a verification
-    error. *)
+    diagnostics fail the allocation.  With [check_phases] (default
+    [false]), every stage boundary runs the static-analysis passes
+    registered for its phase ({!Pass.for_phase}): [Prepared] on the
+    allocator's input, [Allocated] on each {!Alloc_common.result},
+    [Machine] on the finalized code; error diagnostics fail like
+    [~verify] ones.  [jobs] (default [Engine.default_jobs ()], i.e.
+    [PDGC_JOBS] or 1) sets the worker pool size; results are merged
+    back in function order, so any [jobs] value produces bit-for-bit
+    the sequential output.
+    @raise Alloc_common.Failed on allocator failure, a verification
+    error or a phase-contract violation. *)
 
 val verify_allocated : allocated -> Diagnostic.t list
 (** Re-run the static verifier over an allocation, returning the raw

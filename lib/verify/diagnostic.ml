@@ -11,6 +11,9 @@ type reason =
   | Not_allocatable
   | Limited_miss
   | Structure
+  | Dead_code
+  | Pressure
+  | Bad_preference
 
 type t = {
   func : string;
@@ -38,9 +41,36 @@ let reason_label = function
   | Not_allocatable -> "not-allocatable"
   | Limited_miss -> "limited-miss"
   | Structure -> "structure"
+  | Dead_code -> "dead-code"
+  | Pressure -> "pressure"
+  | Bad_preference -> "bad-preference"
 
 let is_error d = d.severity = Error
 let errors ds = List.filter is_error ds
+
+let compare a b =
+  let c = String.compare a.func b.func in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.block b.block in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.index b.index in
+      if c <> 0 then c
+      else
+        let c = String.compare (reason_label a.reason) (reason_label b.reason) in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.instr b.instr in
+          if c <> 0 then c
+          else
+            let c = Option.compare Reg.compare a.reg b.reg in
+            if c <> 0 then c
+            else
+              let c = Stdlib.compare a.severity b.severity in
+              if c <> 0 then c else String.compare a.message b.message
+
+let normalize ds = List.sort_uniq compare ds
 
 let pp ppf d =
   Format.fprintf ppf "[%s] %s"

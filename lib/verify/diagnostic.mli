@@ -27,6 +27,15 @@ type reason =
   | Limited_miss
       (** a limited-use instruction landed outside the limited set *)
   | Structure  (** CFG / instruction-pairing / well-formedness violation *)
+  | Dead_code
+      (** a definition never observed or a block never reached — removable
+          code, not a correctness violation *)
+  | Pressure
+      (** register pressure exceeds the file: MAXLIVE > k, so spill-free
+          coloring cannot be certified *)
+  | Bad_preference
+      (** a preference-graph edge inconsistent with the interference
+          graph (dead target, missing mirror, impossible coalesce) *)
 
 type t = {
   func : string;
@@ -54,5 +63,18 @@ val v :
 val reason_label : reason -> string
 val is_error : t -> bool
 val errors : t list -> t list
+
+val compare : t -> t -> int
+(** Total order by (func, block, index, reason, instr, reg, severity,
+    message) — the render order of {!normalize}. *)
+
+val normalize : t list -> t list
+(** Sort by {!compare} and drop exact duplicates, so reports render
+    byte-identical however the diagnostics were gathered (sequential or
+    [jobs > 1] runs, repeated checks). *)
+
 val pp : Format.formatter -> t -> unit
+
 val report : Format.formatter -> t list -> unit
+(** Render one diagnostic per line, in the given order; callers wanting
+    deterministic output normalize first. *)

@@ -26,4 +26,4 @@ let result m (res : Alloc_common.result) ~final =
     ~spill_slots:res.Alloc_common.spill_slots ~final ()
 
 let ok ds = Diagnostic.errors ds = []
-let report = Diagnostic.report
+let report ppf ds = Diagnostic.report ppf (Diagnostic.normalize ds)

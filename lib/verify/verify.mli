@@ -36,3 +36,7 @@ val ok : Diagnostic.t list -> bool
 (** No error-severity diagnostics. *)
 
 val report : Format.formatter -> Diagnostic.t list -> unit
+(** Deterministic rendering: diagnostics are sorted by (func, block,
+    index, reason) and exact duplicates dropped before printing
+    ({!Diagnostic.normalize}), so sequential and [jobs > 1] runs render
+    byte-identical reports. *)
