@@ -18,10 +18,13 @@
    - "pdgc-bench/4" and later: the "core" array also carries the
      analysis-phase rows (webs, liveness, igraph) alongside
      rpg/cpg/select;
-   - "pdgc-bench/5": a non-empty "analysis" array of per-input SSA
-     pressure-certification rows (input, k, funcs, maxlive_int,
-     maxlive_float, certified_funcs).  These are static stats, not
-     timings, so the --prev diff ignores them.
+   - "pdgc-bench/5" and later: a non-empty "analysis" array of
+     per-input SSA pressure-certification rows (input, k, funcs,
+     maxlive_int, maxlive_float, certified_funcs).  These are static
+     stats, not timings, so the --prev diff ignores them;
+   - "pdgc-bench/6": the two hot-phase rows (cpg-relax, select) are
+     recorded on both figure inputs (mtrt and jack), and the bechamel
+     rows carry the same-run chaitin baselines for fig10 and fig11.
 
    With [--prev PREV], additionally diffs FILE against the previous
    trajectory file PREV: every row recorded in both files (bechamel
@@ -226,6 +229,7 @@ let check_schema = function
         | Some (Str "pdgc-bench/3") -> 3
         | Some (Str "pdgc-bench/4") -> 4
         | Some (Str "pdgc-bench/5") -> 5
+        | Some (Str "pdgc-bench/6") -> 6
         | Some (Str s) -> raise (Bad (Printf.sprintf "unknown schema %S" s))
         | Some _ -> raise (Bad "schema is not a string")
         | None -> 1
@@ -244,7 +248,25 @@ let check_schema = function
             (fun phase ->
               if not (List.exists (fun n -> contains_sub n phase) core_names)
               then raise (Bad (Printf.sprintf "no %s core row" phase)))
-            [ "webs"; "liveness"; "igraph"; "rpg"; "cpg"; "select" ]
+            [ "webs"; "liveness"; "igraph"; "rpg"; "cpg"; "select" ];
+        if version >= 6 then begin
+          List.iter
+            (fun row ->
+              if not (List.exists (fun n -> contains_sub n row) core_names)
+              then raise (Bad (Printf.sprintf "no %s core row" row)))
+            [
+              "cpg-relax:mtrt";
+              "select:mtrt";
+              "cpg-relax:jack";
+              "select:jack";
+            ];
+          List.iter
+            (fun row ->
+              if
+                not (List.exists (fun n -> contains_sub n row) bechamel_names)
+              then raise (Bad (Printf.sprintf "no %s bechamel row" row)))
+            [ "fig10:chaitin"; "fig11:chaitin" ]
+        end
       end;
       if version >= 5 then (
         match find "analysis" with

@@ -63,15 +63,24 @@ let tests () =
         Pipeline.pdgc_coalescing_only;
       ]
   in
+  (* chaitin rides along on the fig10/fig11 inputs as the same-run
+     baseline the pdgc rows are compared against (the 1.5x budget the
+     incremental core is held to). *)
   let fig10 =
     List.map
       (fun a -> alloc_test ~figure:"fig10" ~k:24 a "mtrt")
-      [ Pipeline.pdgc_coalescing_only; Pipeline.optimistic; Pipeline.pdgc_full ]
+      [
+        Pipeline.chaitin_base;
+        Pipeline.pdgc_coalescing_only;
+        Pipeline.optimistic;
+        Pipeline.pdgc_full;
+      ]
   in
   let fig11 =
     List.map
       (fun a -> alloc_test ~figure:"fig11" ~k:24 a "jack")
       [
+        Pipeline.chaitin_base;
         Pipeline.briggs_aggressive;
         Pipeline.aggressive_volatility;
         Pipeline.pdgc_full;
@@ -83,18 +92,19 @@ let tests () =
 (* --- dense-core phase timings ------------------------------------------ *)
 
 (* Times the phases of the dense PDGC core in isolation, over every
-   function of the mtrt suite program at k = 24 (the fig10 workload):
-   web construction, liveness, interference-graph build, RPG build,
-   CPG relaxation, and integrated select.  The per-function analysis
-   pipeline (webs, liveness, interference graph, spill costs,
+   function of a suite program at k = 24 — mtrt (the fig10 workload)
+   and jack (fig11), so both hot-phase trajectories are regressed on
+   two inputs: web construction, liveness, interference-graph build,
+   RPG build, CPG relaxation, and integrated select.  The per-function
+   analysis pipeline (webs, liveness, interference graph, spill costs,
    strengths, simplification) is run once up front so each row
    measures only its own phase.  The select row rebuilds its CPG on
    every run because [Pdgc_select.run] consumes the graph's pending
    counters. *)
-let core_tests () =
+let core_tests_for input =
   let k = 24 in
   let m = Machine.make ~k () in
-  let prepared = Pipeline.prepare m (Suite.program "mtrt") in
+  let prepared = Pipeline.prepare m (Suite.program input) in
   let units =
     List.map
       (fun fn ->
@@ -123,15 +133,16 @@ let core_tests () =
         (fn, g, str, simp))
       prepared.Cfg.funcs
   in
+  let row phase = Printf.sprintf "%s:%s:k%d" phase input k in
   let webs_test =
-    Test.make ~name:"webs:mtrt:k24"
+    Test.make ~name:(row "webs")
       (Staged.stage (fun () ->
            List.iter
              (fun fn -> ignore (Webs.run (Cfg.clone fn)))
              prepared.Cfg.funcs))
   in
   let liveness_test =
-    Test.make ~name:"liveness:mtrt:k24"
+    Test.make ~name:(row "liveness")
       (Staged.stage (fun () ->
            List.iter
              (fun (fn, _, _, _) -> ignore (Liveness.compute fn))
@@ -139,7 +150,7 @@ let core_tests () =
   in
   let lives = List.map (fun (fn, _, _, _) -> Liveness.compute fn) units in
   let igraph_test =
-    Test.make ~name:"igraph:mtrt:k24"
+    Test.make ~name:(row "igraph")
       (Staged.stage (fun () ->
            List.iter2
              (fun (fn, _, _, _) live -> ignore (Igraph.build fn live))
@@ -149,12 +160,12 @@ let core_tests () =
     Rpg.build ~kinds:`All ~cpt:(Igraph.compact g) m fn str
   in
   let rpg_test =
-    Test.make ~name:"rpg-build:mtrt:k24"
+    Test.make ~name:(row "rpg-build")
       (Staged.stage (fun () ->
            List.iter (fun u -> ignore (rpg_of u)) units))
   in
   let cpg_test =
-    Test.make ~name:"cpg-relax:mtrt:k24"
+    Test.make ~name:(row "cpg-relax")
       (Staged.stage (fun () ->
            List.iter
              (fun (_, g, _, simp) -> ignore (Cpg.build ~k g simp))
@@ -162,21 +173,22 @@ let core_tests () =
   in
   let rpgs = List.map rpg_of units in
   let select_test =
-    Test.make ~name:"select:mtrt:k24"
+    Test.make ~name:(row "select")
       (Staged.stage (fun () ->
            List.iter2
              (fun (_, g, str, simp) rpg ->
                let cpg = Cpg.build ~k g simp in
                ignore
                  (Pdgc_select.run m g rpg cpg str
-                    ~no_spill:(fun _ -> false)
-                    ~spill_risk:simp.Simplify.potential_spills
-                    ~policy:Pdgc_select.Differential
-                    ~fallback_nonvolatile_first:false))
+                    (Pdgc_select.params
+                       ~spill_risk:simp.Simplify.potential_spills ())))
              units rpgs))
   in
+  [ webs_test; liveness_test; igraph_test; rpg_test; cpg_test; select_test ]
+
+let core_tests () =
   Test.make_grouped ~name:"core" ~fmt:"%s %s"
-    [ webs_test; liveness_test; igraph_test; rpg_test; cpg_test; select_test ]
+    (core_tests_for "mtrt" @ core_tests_for "jack")
 
 (* Returns (name, ns/run) rows sorted by name.  Like the suite-scale
    wall times, every row is the best of three full Bechamel passes
@@ -427,7 +439,7 @@ let write_json file ~smoke ~bechamel ~scale ~analysis =
       rows
   in
   out "{\n";
-  out "  \"schema\": \"pdgc-bench/5\",\n";
+  out "  \"schema\": \"pdgc-bench/6\",\n";
   out "  \"smoke\": %b,\n" smoke;
   out "  \"cores\": %d,\n" (Domain.recommended_domain_count ());
   out "  \"bechamel\": [\n";

@@ -2,74 +2,83 @@
 
    Nodes are indices of the interference graph's compact numbering
    (or a private numbering for [of_total_order]).  Per node, the edge
-   relation is kept three ways, exactly in sync:
-
-   - growable int vectors ([succ] / [pred]) for O(out-degree)
-     iteration;
-   - bitset rows ([succ_bits] / [pred_bits]) for O(1) duplicate
-     detection on insert/remove;
-   - cached in/out-degree counters ([indeg] / [outdeg]) and a global
-     [edges] counter, so [n_edges] and the initial-node scan never
-     recount sets.
+   relation is growable int vectors ([succ] / [pred]) for
+   O(out-degree) iteration, plus a cached in-degree counter ([indeg])
+   and a global [edges] counter, so [n_edges] and the initial-node
+   scan never recount.  No duplicate-detection bitsets: every
+   insertion site adds an edge at most once — [build] visits each
+   (neighbor, popped-node) pair exactly once per pop (the
+   interference graph's adjacency vectors are duplicate-free), and
+   [of_total_order] chains a duplicate-free order — so insertion is
+   unchecked.  The [pred] vectors are not maintained during
+   construction at all: edge retirement would pay an O(in-degree)
+   scan of a long-popped node's row for each removal, yet nothing
+   reads predecessors mid-build, so [finish_build] materializes every
+   [pred] row from the final [succ] rows in one pass.
 
    The tree-based predecessor of this module iterated [Reg.Set]s,
    whose order (ascending register id) leaks into observable behavior:
    the transitive-pruning step of [build] mutates the graph mid-scan,
    and [resolve] returns newly-ready successors in *descending*
    register order (ascending fold + prepend).  Every scan here sorts
-   by register id first to reproduce those orders bit-for-bit. *)
+   by register id first to reproduce those orders bit-for-bit.
+
+   Incremental relaxation.  Construction pops nodes in simplification
+   removal order; every edge it inserts points from a still-present
+   node [u] to the node [n] being popped at that moment.  Two facts
+   follow and carry the whole incremental scheme (DESIGN §3e):
+
+   - the set of nodes reachable from any node along succ edges
+     contains only already-popped nodes and only ever grows, because a
+     node acquires out-edges exclusively while present and loses none
+     that matter: the transitive-pruning step retires a direct edge
+     [u -> m] only when [n -> m] already holds through the edge
+     [u -> n] inserted in the same step, so reachability is preserved;
+   - a popped node's out-edge list is final (removals target edges of
+     *present* nodes only), so its reachable set can be frozen at pop
+     time.
+
+   [build] therefore maintains one bitset per node — the popped nodes
+   reachable from it — and answers both reachability questions of the
+   paper's step 7 ("is an edge [u -> n] already implied?", "which
+   direct edges does it make transitive?") with O(1) membership tests
+   instead of the per-step depth-first re-traversal the previous
+   version ran.  Inserting an edge costs the O(1) push plus one bitset
+   union; retiring one costs the O(1) vector/bitset removal. *)
 
 type t = {
   cpt : Regbits.compact;
   mutable cap : int;
   mutable succ : Regbits.Vec.t array;
   mutable pred : Regbits.Vec.t array;
-  mutable succ_bits : Regbits.Set.t array;
-  mutable pred_bits : Regbits.Set.t array;
   mutable indeg : int array;
-  mutable outdeg : int array;
   mutable pending : int array; (* unresolved predecessor count *)
   mutable edges : int; (* cached: always = number of distinct edges *)
   mutable initial_nodes : Reg.t list;
-  (* DFS scratch for [reachable]: a node is visited in the current
-     query iff [mark.(i) = stamp]; bumping [stamp] clears in O(1). *)
-  mutable mark : int array;
-  mutable stamp : int;
   all : Reg.t list;
 }
 
+(* Shared empty-slot sentinels.  A relaxed CPG has far fewer edges than
+   nodes, so most rows stay empty forever: slots start out aliased to
+   these (never-mutated) empties and a private vector/bitset is
+   materialized on first mutation. *)
+let empty_vec = Regbits.Vec.create ()
+let empty_set = Regbits.Set.create 0
+
 let grow t needed =
   let cap = max needed (max 16 (2 * t.cap)) in
-  let succ = Array.make cap (Regbits.Vec.create ()) in
-  let pred = Array.make cap (Regbits.Vec.create ()) in
-  let succ_bits = Array.make cap (Regbits.Set.create 0) in
-  let pred_bits = Array.make cap (Regbits.Set.create 0) in
+  let succ = Array.make cap empty_vec in
+  let pred = Array.make cap empty_vec in
   let indeg = Array.make cap 0 in
-  let outdeg = Array.make cap 0 in
   let pending = Array.make cap 0 in
-  let mark = Array.make cap 0 in
   Array.blit t.succ 0 succ 0 t.cap;
   Array.blit t.pred 0 pred 0 t.cap;
-  Array.blit t.succ_bits 0 succ_bits 0 t.cap;
-  Array.blit t.pred_bits 0 pred_bits 0 t.cap;
   Array.blit t.indeg 0 indeg 0 t.cap;
-  Array.blit t.outdeg 0 outdeg 0 t.cap;
   Array.blit t.pending 0 pending 0 t.cap;
-  Array.blit t.mark 0 mark 0 t.cap;
-  for i = t.cap to cap - 1 do
-    succ.(i) <- Regbits.Vec.create ();
-    pred.(i) <- Regbits.Vec.create ();
-    succ_bits.(i) <- Regbits.Set.create 0;
-    pred_bits.(i) <- Regbits.Set.create 0
-  done;
   t.succ <- succ;
   t.pred <- pred;
-  t.succ_bits <- succ_bits;
-  t.pred_bits <- pred_bits;
   t.indeg <- indeg;
-  t.outdeg <- outdeg;
   t.pending <- pending;
-  t.mark <- mark;
   t.cap <- cap
 
 let make cpt all =
@@ -79,15 +88,10 @@ let make cpt all =
       cap = 0;
       succ = [||];
       pred = [||];
-      succ_bits = [||];
-      pred_bits = [||];
       indeg = [||];
-      outdeg = [||];
       pending = [||];
       edges = 0;
       initial_nodes = [];
-      mark = [||];
-      stamp = 0;
       all;
     }
   in
@@ -122,49 +126,34 @@ let nodes t = t.all
 let initial t = t.initial_nodes
 let n_edges t = t.edges
 
-(* Is [target] reachable from [src] following succ edges?  Pure
-   reachability — traversal order does not affect the answer. *)
-let reachable_idx t src target =
-  t.stamp <- t.stamp + 1;
-  let stamp = t.stamp in
-  let rec go i =
-    i = target
-    || (t.mark.(i) <> stamp
-       && begin
-            t.mark.(i) <- stamp;
-            any t.succ.(i) 0
-          end)
-  and any v j =
-    j < Regbits.Vec.length v && (go (Regbits.Vec.get v j) || any v (j + 1))
-  in
-  src = target || any t.succ.(src) 0
+(* Dense sub-API (layering rule in cpg.mli). *)
+let compact t = t.cpt
+let index_of t r = idx t r
+let reg_of = reg_at
+let iter_succs_idx t i f = Regbits.Vec.iter t.succ.(i) f
+let iter_preds_idx t i f = Regbits.Vec.iter t.pred.(i) f
 
+(* Precondition: the edge is absent (see the header).  The [pred] row
+   is left untouched; [finish_build] fills it. *)
 let add_edge_idx t u v =
-  if not (Regbits.Set.mem t.succ_bits.(u) v) then begin
-    Regbits.Set.add t.succ_bits.(u) v;
-    Regbits.Set.add t.pred_bits.(v) u;
-    Regbits.Vec.push t.succ.(u) v;
-    Regbits.Vec.push t.pred.(v) u;
-    t.outdeg.(u) <- t.outdeg.(u) + 1;
-    t.indeg.(v) <- t.indeg.(v) + 1;
-    t.edges <- t.edges + 1
-  end
+  if t.succ.(u) == empty_vec then t.succ.(u) <- Regbits.Vec.create ();
+  Regbits.Vec.push t.succ.(u) v;
+  t.indeg.(v) <- t.indeg.(v) + 1;
+  t.edges <- t.edges + 1
 
-let remove_edge_idx t u v =
-  if Regbits.Set.mem t.succ_bits.(u) v then begin
-    Regbits.Set.remove t.succ_bits.(u) v;
-    Regbits.Set.remove t.pred_bits.(v) u;
-    ignore (Regbits.Vec.remove_value t.succ.(u) v);
-    ignore (Regbits.Vec.remove_value t.pred.(v) u);
-    t.outdeg.(u) <- t.outdeg.(u) - 1;
-    t.indeg.(v) <- t.indeg.(v) - 1;
-    t.edges <- t.edges - 1
-  end
-
-(* Fill [pending] from the final in-degrees and collect the
+(* Materialize the [pred] rows from the final [succ] rows, then fill
+   [pending] from the final in-degrees and collect the
    zero-predecessor nodes, scanning the removal order so that
-   [initial_nodes] ends up in the same (reversed) order as before. *)
+   [initial_nodes] ends up in the same (reversed) order as before.
+   The order within a [pred] row is unobservable: {!preds} sorts, and
+   nothing else reads the raw vectors. *)
 let finish_build t order_idx =
+  List.iter
+    (fun u ->
+      Regbits.Vec.iter t.succ.(u) (fun v ->
+          if t.pred.(v) == empty_vec then t.pred.(v) <- Regbits.Vec.create ();
+          Regbits.Vec.push t.pred.(v) u))
+    order_idx;
   List.iter
     (fun i ->
       t.pending.(i) <- t.indeg.(i);
@@ -178,60 +167,99 @@ let build ~k g (simp : Simplify.result) =
   let order_idx = List.map (fun r -> Igraph.index_of g r) order in
   List.iter (fun i -> if i >= t.cap then grow t (i + 1)) order_idx;
   (* Working interference graph: residual degree + presence, physical
-     registers excluded.  Virtual adjacency is precomputed per order
-     node, sorted ascending by register id to match the tree-based
-     [Reg.Set] iteration order. *)
-  let vadj = Array.make t.cap [||] in
+     registers excluded.  The graph's own adjacency vectors are walked
+     directly, in their (unsorted) order: every per-pop effect below is
+     independent per neighbor — see the step-7 comment — so no ordering
+     is imposed and no per-node adjacency copy is materialized. *)
   let present = Array.make t.cap false in
   let degree = Array.make t.cap 0 in
   let ready = Array.make t.cap false in
+  (* Virtuality per index, computed once: testing through [reg_at] per
+     adjacency entry would cost O(E) register lookups.  Only removal-
+     order nodes are marked, so [virt] doubles as "participates in the
+     working graph". *)
+  let virt = Array.make t.cap false in
+  List.iter (fun i -> virt.(i) <- Reg.is_virtual (reg_at t i)) order_idx;
+  (* reach.(i): bitset of the popped nodes reachable from [i] along
+     succ edges (frozen once [i] pops; [i] joins its own set then).
+     Monotone — see the header invariant — so edge retirement never
+     touches it.  Slots alias the shared empty sentinel until first
+     mutated ([Set.mem] is bounds-safe and read-only, so reads through
+     the sentinel are fine; [add]/[union_into] grow their target): most
+     nodes never become an edge tail or target, so even allocating one
+     empty set per node — let alone pre-sizing to the node count,
+     O(n^2) words per build — is wasted work on the common path. *)
+  let reach = Array.make t.cap empty_set in
+  (* Step 4: residual degree starts at the full interference degree —
+     the same initialization {!Simplify.run} uses.  Physical neighbors
+     are precolored, hence a *permanent* constraint at every point of
+     every topological order: they never pop, so their contribution is
+     never decremented and a node cannot become ready on virtual
+     neighbors alone.  Initially low-degree nodes are ready; potential
+     spills exist but stay unready. *)
   List.iter
     (fun i ->
-      let acc = ref [] in
-      Igraph.iter_adj_idx g i (fun n ->
-          if Reg.is_virtual (reg_at t n) then acc := n :: !acc);
-      let vs = Array.of_list !acc in
-      Array.sort (fun a b -> Reg.compare (reg_at t a) (reg_at t b)) vs;
-      vadj.(i) <- vs;
+      let deg = Igraph.degree_idx g i in
       present.(i) <- true;
-      degree.(i) <- Array.length vs)
+      degree.(i) <- deg;
+      ready.(i) <- deg < k)
     order_idx;
-  (* Step 4: initially low-degree nodes are ready; potential spills
-     exist but stay unready. *)
-  List.iter (fun i -> if degree.(i) < k then ready.(i) <- true) order_idx;
-  (* Steps 5-9: pop in removal order. *)
+  (* Steps 5-9: pop in removal order.  Step 7 (edge insertion and
+     transitive pruning) and step 8 (degree decrement / readiness) are
+     fused into one adjacency walk: each neighbor [u] is handled
+     independently — its edge work reads and writes only [u]'s own
+     state plus [n]'s frozen set, and [ready.(u)] can only be flipped
+     by [u]'s own decrement, which runs after its edge work — so the
+     fusion observes exactly the two-phase state. *)
   List.iter
     (fun n ->
       present.(n) <- false;
-      let neighbors = Array.to_list vadj.(n) |> List.filter (fun x -> present.(x)) in
-      let non_ready = List.filter (fun x -> not ready.(x)) neighbors in
+      (* Freeze n's reachable set: from here on it answers "does n
+         reach m?" for every later step in O(1).  Materialized lazily —
+         if no neighbor enters the edge branch below, nothing ever
+         reads it again (edges into [n] exist only through that
+         branch), so the freeze can be skipped outright. *)
+      let rn_frozen = ref empty_set in
+      let freeze_rn () =
+        if !rn_frozen == empty_set then begin
+          let s =
+            if reach.(n) == empty_set then Regbits.Set.create 0 else reach.(n)
+          in
+          Regbits.Set.add s n;
+          reach.(n) <- s;
+          rn_frozen := s
+        end;
+        !rn_frozen
+      in
       (* Step 7: non-ready remaining neighbors precede n.  Skip an edge
-         that is already implied, and drop direct edges it makes
-         transitive.  The inner scan iterates a snapshot of u's
-         successors (sorted ascending by register id, matching the old
-         set snapshot) while removing edges. *)
-      List.iter
-        (fun u ->
-          if not (reachable_idx t u n) then begin
-            (* An existing direct edge u -> m is transitive if n -> m
-               holds after adding u -> n. *)
-            add_edge_idx t u n;
-            let snapshot =
-              Regbits.Vec.fold t.succ.(u) ~init:[] ~f:(fun acc m -> m :: acc)
-              |> List.sort (fun a b -> Reg.compare (reg_at t a) (reg_at t b))
-            in
-            List.iter
-              (fun m -> if m <> n && reachable_idx t n m then remove_edge_idx t u m)
-              snapshot
-          end)
-        non_ready;
-      (* Step 8: the removal may make neighbors ready. *)
-      List.iter
-        (fun x ->
-          let d = degree.(x) - 1 in
-          degree.(x) <- d;
-          if d < k then ready.(x) <- true)
-        neighbors)
+         that is already implied ([n] reachable from [u]), and retire
+         direct edges it makes transitive ([u -> m] with [m] reachable
+         from [n]).  Edges into [n] from other tails never enter
+         [reach.(u)], so the scan order over the neighbors cannot
+         influence the final edge set. *)
+      Igraph.iter_adj_idx g n (fun u ->
+          if u < t.cap && virt.(u) && present.(u) then begin
+            if (not ready.(u)) && not (Regbits.Set.mem reach.(u) n) then begin
+              let rn = freeze_rn () in
+              add_edge_idx t u n;
+              (* One in-place pass retires the stale edges.  [m = n]
+                 is kept explicitly — the edge inserted this step is
+                 never its own victim, yet [n] is in [rn]. *)
+              Regbits.Vec.filter_in_place t.succ.(u) ~f:(fun m ->
+                  m = n
+                  || (not (Regbits.Set.mem rn m))
+                  ||
+                  (t.indeg.(m) <- t.indeg.(m) - 1;
+                   t.edges <- t.edges - 1;
+                   false));
+              if reach.(u) == empty_set then reach.(u) <- Regbits.Set.create 0;
+              ignore (Regbits.Set.union_into ~src:rn ~dst:reach.(u))
+            end;
+            (* Step 8: the removal may make [u] ready. *)
+            let d = degree.(u) - 1 in
+            degree.(u) <- d;
+            if d < k then ready.(u) <- true
+          end))
     order_idx;
   (* Nodes with no predecessors hang off the top. *)
   finish_build t order_idx
@@ -254,16 +282,18 @@ let of_total_order order =
    successors in descending register order.  Reproduce it by sorting;
    which successors become ready does not depend on visit order (each
    is decremented exactly once). *)
+let resolve_idx t i =
+  let ready = ref [] in
+  Regbits.Vec.iter t.succ.(i) (fun s ->
+      let p = t.pending.(s) - 1 in
+      t.pending.(s) <- p;
+      if p = 0 then ready := s :: !ready);
+  List.sort (fun a b -> Reg.compare (reg_at t b) (reg_at t a)) !ready
+
 let resolve t r =
   match find_idx t r with
   | None -> []
-  | Some i ->
-      let ready = ref [] in
-      Regbits.Vec.iter t.succ.(i) (fun s ->
-          let p = t.pending.(s) - 1 in
-          t.pending.(s) <- p;
-          if p = 0 then ready := reg_at t s :: !ready);
-      List.sort (fun a b -> Reg.compare b a) !ready
+  | Some i -> List.map (reg_at t) (resolve_idx t i)
 
 let topological_orders_ok t =
   (* Kahn's algorithm visits every node iff the graph is acyclic. *)
@@ -298,6 +328,10 @@ let pp ppf t =
     t.all;
   Format.fprintf ppf "@]"
 
+(* Dumps must be diffable across runs and jobs modes: nodes are emitted
+   in ascending register order (not removal order) and each node's
+   edges in ascending successor order, so two structurally equal graphs
+   render byte-for-byte identically. *)
 let to_dot ?(name = Reg.to_string) ppf t =
   Format.fprintf ppf "digraph cpg {@.";
   Format.fprintf ppf "  top [shape=plaintext];@.";
@@ -308,5 +342,5 @@ let to_dot ?(name = Reg.to_string) ppf t =
       List.iter
         (fun s -> Format.fprintf ppf "  \"%s\" -> \"%s\";@." (name r) (name s))
         (succs t r))
-    t.all;
+    (List.sort Reg.compare t.all);
   Format.fprintf ppf "}@."

@@ -12,21 +12,37 @@
     [N] a free color).  A node becomes ready the moment its residual
     degree drops below [k] — from then on its own coloring is safe no
     matter when it happens, so no constraint is recorded against it.
+    Relaxation is incremental: reachability is maintained as monotone
+    per-node bitsets over the popped prefix, so each precedence edge is
+    inserted or retired in O(1) amortized instead of the graph being
+    re-traversed per transitive-pruning step (DESIGN §3e).
 
     The paper's key claim, tested in [test_cpg.ml]: for a graph
     simplified without optimistic spills, {e any} topological order of
-    the CPG can be greedily colored with [k] colors. *)
+    the CPG can be greedily colored with [k] colors.
+
+    {b Layering rule} (same two-layer surface as [Igraph], DESIGN §3c):
+    every query below speaks [Reg.t] and is the interface existing
+    callers — tests, harness, dot dumps — program against.  The
+    {!section:dense} sub-API additionally exposes the graph's compact
+    numbering so hot callers ([Pdgc_select]) can keep per-node state in
+    plain arrays and skip re-interning; dense indices never escape
+    this signature into another module's public API. *)
 
 type t
 
 val build : k:int -> Igraph.t -> Simplify.result -> t
+(** Nodes are indexed by the interference graph's compact numbering
+    ([Igraph.compact]); {!index_of} agrees with [Igraph.index_of] for
+    every node. *)
 
 val of_total_order : Reg.t list -> t
 (** A chain: each node must be colored after its predecessor in the
     list.  Passing the select order of plain Chaitin coloring (the
     reversed simplification stack) turns the preference-directed select
     into a stack-order select — the ablation baseline quantifying what
-    the order relaxation itself buys. *)
+    the order relaxation itself buys.  The chain carries a {e private}
+    numbering: its dense indices are not the interference graph's. *)
 
 val initial : t -> Reg.t list
 (** Successors of the top node: selectable immediately. *)
@@ -38,13 +54,45 @@ val n_edges : t -> int
 
 val resolve : t -> Reg.t -> Reg.t list
 (** Mark a node processed (colored or spilled); returns the successors
-    that become selectable as a result.  Each node must be resolved
-    exactly once. *)
+    that become selectable as a result, in descending register order.
+    Each node must be resolved exactly once. *)
 
 val topological_orders_ok : t -> bool
 (** Internal sanity: the graph is acyclic. *)
 
+(** {2:dense Dense index sub-API}
+
+    Mirrors [Igraph]'s index surface.  Indices are only meaningful
+    against {!compact}; a caller must check (physical equality is
+    enough) that it holds the same numbering before mixing this
+    graph's indices with another phase's.  The index view is a
+    performance door, not a second interface. *)
+
+val compact : t -> Regbits.compact
+(** The numbering the node indices live in — the interference graph's
+    for {!build}, a private one for {!of_total_order}. *)
+
+val index_of : t -> Reg.t -> int
+(** Dense index of a register, interning it if unseen. *)
+
+val reg_of : t -> int -> Reg.t
+(** Inverse of the numbering; [i] must be a valid index. *)
+
+val iter_succs_idx : t -> int -> (int -> unit) -> unit
+(** Iterate a node's successors as indices, unordered ([succs] sorts;
+    this does not).  The graph must not be resolved mid-iteration. *)
+
+val iter_preds_idx : t -> int -> (int -> unit) -> unit
+
+val resolve_idx : t -> int -> int list
+(** {!resolve} over indices: same pending-counter updates, same
+    descending-register result order.  Each node must be resolved
+    exactly once, through either entry point. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_dot : ?name:(Reg.t -> string) -> Format.formatter -> t -> unit
-(** Graphviz rendering with explicit top/bottom markers. *)
+(** Graphviz rendering with explicit top/bottom markers.  Emission is
+    deterministic and sorted — nodes ascending by register, each node's
+    edges ascending by successor — so dumps diff cleanly across runs
+    and jobs modes. *)

@@ -63,9 +63,11 @@ let allocate_config_verbose config (m : Machine.t) (f0 : Cfg.func) =
       else Cpg.of_total_order simp.Simplify.stack
     in
     let sel =
-      Pdgc_select.run m g rpg cpg str ~no_spill
-        ~spill_risk:simp.Simplify.potential_spills ~policy:config.policy
-        ~fallback_nonvolatile_first:(config.variant = Coalescing_only)
+      Pdgc_select.run m g rpg cpg str
+        (Pdgc_select.params ~no_spill
+           ~spill_risk:simp.Simplify.potential_spills ~policy:config.policy
+           ~fallback_nonvolatile_first:(config.variant = Coalescing_only)
+           ())
     in
     if Reg.Set.is_empty sel.Pdgc_select.spilled then begin
       let alloc = Reg.Tbl.create 64 in

@@ -14,6 +14,17 @@ type outcome = {
   stats : stats;
 }
 
+type params = {
+  no_spill : Reg.t -> bool;
+  spill_risk : Reg.Set.t;
+  policy : policy;
+  fallback_nonvolatile_first : bool;
+}
+
+let params ?(no_spill = fun _ -> false) ?(spill_risk = Reg.Set.empty)
+    ?(policy = Differential) ?(fallback_nonvolatile_first = false) () =
+  { no_spill; spill_risk; policy; fallback_nonvolatile_first }
+
 (* Dense select.
 
    Node state is indexed by the interference graph's compact numbering;
@@ -24,19 +35,50 @@ type outcome = {
    the [Reg.Set] iteration order of the tree-based implementation
    exactly, and mask intersections reproduce [Reg.Set.inter].
 
+   The honor loop is incremental end to end (DESIGN §3e):
+
+   - Availability is a per-node *forbidden* mask maintained as colors
+     land: the masks are seeded from the precolored (physical) rows up
+     front, and when a node takes machine register [c], each graph
+     neighbor's mask gains bit [c] during the invalidation walk.
+     Colors are never revoked within a run, so the masks grow
+     monotonically and [available_idx] is a load and a complement —
+     the adjacency walk the previous version ran on every query
+     happens exactly once per colored node.
+
+   - Each ready node carries a *preference summary* — count, strongest
+     and weakest honorable effective strength — from which the policy
+     keys (differential, strongest) derive.  Summaries live in flat
+     arrays and feed an indexed binary max-heap.  The summary
+     invalidation contract: a summary can only change when (a) a graph
+     neighbor takes a color (availability shrinks), (b) a preference
+     target gets colored (Defer resolves) or spilled (Defer dies), or
+     (c) a node holding a preference for this node resolves.  Exactly
+     those events mark the summary dirty; in particular a *spilled*
+     node no longer invalidates its graph neighbors — spilling takes no
+     color, so their availability and summaries are untouched (the
+     events (b)/(c) still fire through the preference edges).  Dirty
+     heap members are re-keyed before any pick reads the root.
+     Preference edges are pre-interned (dense endpoint indices cached
+     per node), nodes without preferences are never dirtied (their
+     summary is constant), and a re-key that leaves the stored keys
+     unchanged skips the sifts — none of which is observable through
+     the strict total order below.
+
    The ready set is split by the pick rule it feeds:
    - spill-risk nodes keep their CPG-queue order in a list (the pick
      rule is "first at-risk node in queue order");
    - under [Fifo] the whole queue stays a list (the pick rule is
      positional);
-   - otherwise non-risk ready nodes live in an indexed binary max-heap
-     ordered by (policy key, spill-cost tiebreak, lowest register id).
-     Metric invalidations mark heap members dirty; [pick_node] first
-     re-keys the dirty members — exactly the recomputation the linear
-     rescan used to do, but without touching clean nodes — then reads
-     the root in O(1).  The comparator is a strict total order (register
-     ids break all ties), so the heap root equals the old fold's
-     maximum. *)
+   - otherwise non-risk ready nodes live in the summary heap, ordered
+     by (policy key, spill-cost tiebreak, lowest register id) — a
+     strict total order, so the heap root equals the old fold's
+     maximum.
+
+   Readiness flows in through {!Cpg}'s dense sub-API when the CPG
+   shares the interference graph's numbering ([Cpg.build] does;
+   [Cpg.of_total_order] carries a private numbering and falls back to
+   the [Reg.t] layer). *)
 
 (* Resolution of one preference against the current allocation state. *)
 type resolved =
@@ -46,13 +88,17 @@ type resolved =
   | Dead (* cannot be honored anymore *)
 
 let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
-    ~no_spill ~spill_risk ~policy ~fallback_nonvolatile_first =
+    (ps : params) =
+  let { no_spill; spill_risk; policy; fallback_nonvolatile_first } = ps in
   let k = m.Machine.k in
   if k > Sys.int_size - 1 then
     invalid_arg "Pdgc_select.run: machine k exceeds the bitmask width";
   let all_mask = (1 lsl k) - 1 in
   let cpt = Igraph.compact g in
   let n_cap = max 16 (Regbits.size cpt) in
+  (* The CPG built by [Cpg.build] indexes nodes by this same numbering;
+     the ablation chain from [Cpg.of_total_order] does not. *)
+  let cpg_shares_numbering = Cpg.compact cpg == cpt in
   (* Per-class masks: volatile / nonvolatile / limited partitions of the
      k machine registers (bit j = register index j of that class). *)
   let cls_code = function Reg.Int_class -> 0 | Reg.Float_class -> 1 in
@@ -87,24 +133,72 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
       }
   in
   let nidx r = Igraph.index_of g r in
-  let available_idx i =
-    let forbidden = ref 0 in
-    Igraph.iter_adj_idx g i (fun nb ->
-        let cj = color_idx.(nb) in
-        if cj >= 0 then forbidden := !forbidden lor (1 lsl cj));
-    all_mask land lnot !forbidden
+  let reg_of_idx i = Regbits.reg_at cpt i in
+  (* Preference edges with pre-interned endpoints, built once per node
+     on first touch: each out-edge carries the dense index of its
+     virtual Coalesce/Seq target (-1 for physical targets and the
+     self-shaped preferences), each in-edge its source's index.  Every
+     later summary recompute and invalidation walk is then hash-free. *)
+  let no_out : (Rpg.pref * int) array = [||] in
+  let out_arr = Array.make n_cap no_out in
+  let out_ok = Array.make n_cap false in
+  let prefs_of i =
+    if not out_ok.(i) then begin
+      out_arr.(i) <-
+        Array.of_list
+          (List.map
+             (fun (p : Rpg.pref) ->
+               let tgt =
+                 match p.Rpg.target with
+                 | Rpg.Coalesce t | Rpg.Seq_plus t | Rpg.Seq_minus t ->
+                     if Reg.is_virtual t then nidx t else -1
+                 | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> -1
+               in
+               (p, tgt))
+             (Rpg.prefs rpg (reg_of_idx i)));
+      out_ok.(i) <- true
+    end;
+    out_arr.(i)
   in
-  let available n = available_idx (nidx n) in
+  let no_inc : (Reg.t * int * Rpg.pref) array = [||] in
+  let inc_arr = Array.make n_cap no_inc in
+  let inc_ok = Array.make n_cap false in
+  let incoming_of i =
+    if not inc_ok.(i) then begin
+      inc_arr.(i) <-
+        Array.of_list
+          (List.map
+             (fun (u, p) -> (u, nidx u, p))
+             (Rpg.incoming rpg (reg_of_idx i)));
+      inc_ok.(i) <- true
+    end;
+    inc_arr.(i)
+  in
+  (* Incrementally maintained forbidden masks, always current: seeded
+     from the precolored (physical) rows — the only colors that exist
+     before select runs — then updated edge-by-edge in the invalidation
+     walk as virtual nodes take colors.  Availability is a load and a
+     complement. *)
+  let forbidden = Array.make n_cap 0 in
+  for p = 0 to Regbits.size cpt - 1 do
+    let cj = color_idx.(p) in
+    if cj >= 0 then
+      Igraph.iter_adj_idx g p (fun nb ->
+          forbidden.(nb) <- forbidden.(nb) lor (1 lsl cj))
+  done;
+  let available_idx i = all_mask land lnot forbidden.(i) in
   let shift_ok j = j >= 0 && j < k in
   (* Steps 2.1/2.2: resolve a preference of [n] given its available
-     mask. *)
-  let resolve ncls avail (p : Rpg.pref) n =
+     mask.  [tgt] is the pre-interned index of the virtual target, -1
+     when the target is a physical register (or the preference has
+     none). *)
+  let resolve ncls avail (p : Rpg.pref) n tgt =
     let target_reg t delta =
       (* Color of the target as a machine-register index, if any. *)
       let cj =
-        if Reg.is_phys t then Some (Reg.phys_index t)
+        if tgt < 0 then Some (Reg.phys_index t)
         else
-          let tj = color_idx.(nidx t) in
+          let tj = color_idx.(tgt) in
           if tj >= 0 then Some tj else None
       in
       match cj with
@@ -113,10 +207,7 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
           if shift_ok want && avail land (1 lsl want) <> 0 then
             Screen (1 lsl want)
           else Dead
-      | None ->
-          if (not (Reg.is_phys t)) && Regbits.Set.mem spilled_bits (nidx t) then
-            Dead
-          else Defer
+      | None -> if Regbits.Set.mem spilled_bits tgt then Dead else Defer
     in
     match p.Rpg.target with
     | Rpg.Coalesce t -> target_reg t 0
@@ -158,50 +249,56 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         Costs.limited_fixup * f
     | Screen _, Rpg.Memory | (Defer | Dead), _ -> 0
   in
-  (* Step 3 metric: differential between strongest and weakest honorable
-     preference; a single preference counts its full strength.  The
-     metric of a node only changes when a neighbor takes a color
-     (availability) or a preference target resolves; those events
-     invalidate the cache below. *)
-  let md = Array.make n_cap 0 in
-  let ms = Array.make n_cap 0 in
-  let mok = Array.make n_cap false in
-  let node_metric n =
-    let i = nidx n in
-    if mok.(i) then (md.(i), ms.(i))
-    else begin
-      let ncls = cls_code (Igraph.cls g n) in
-      let avail = available_idx i in
+  (* Step 3 summaries: per node, the number of honorable preferences
+     and their strongest / weakest effective strengths; the policy
+     metric (differential between strongest and weakest, a single
+     preference counting its full strength) derives from them.
+     Recomputed lazily when the invalidation contract (module header)
+     marks them dirty. *)
+  let sm_cnt = Array.make n_cap 0 in
+  let sm_max = Array.make n_cap 0 in
+  let sm_min = Array.make n_cap 0 in
+  let sm_ok = Array.make n_cap false in
+  let summary_of i =
+    if not sm_ok.(i) then begin
+      let pr = prefs_of i in
       let mx = ref 0 and mn = ref max_int and cnt = ref 0 in
-      List.iter
-        (fun p ->
-          match resolve ncls avail p n with
-          | (Screen _ | Want_memory) as r ->
-              let e = eff_strength ncls p r in
-              if e > 0 then begin
-                incr cnt;
-                if e > !mx then mx := e;
-                if e < !mn then mn := e
-              end
-          | Defer | Dead -> ())
-        (Rpg.prefs rpg n);
-      let d, s =
-        if !cnt = 0 then (-1, 0)
-        else if !cnt = 1 then (!mx, !mx)
-        else (!mx - !mn, !mx)
-      in
-      md.(i) <- d;
-      ms.(i) <- s;
-      mok.(i) <- true;
-      (d, s)
-    end
+      if Array.length pr > 0 then begin
+        let n = reg_of_idx i in
+        let ncls = cls_code (Igraph.cls g n) in
+        let avail = available_idx i in
+        Array.iter
+          (fun (p, tgt) ->
+            match resolve ncls avail p n tgt with
+            | (Screen _ | Want_memory) as r ->
+                let e = eff_strength ncls p r in
+                if e > 0 then begin
+                  incr cnt;
+                  if e > !mx then mx := e;
+                  if e < !mn then mn := e
+                end
+            | Defer | Dead -> ())
+          pr
+      end;
+      sm_cnt.(i) <- !cnt;
+      sm_max.(i) <- !mx;
+      sm_min.(i) <- !mn;
+      sm_ok.(i) <- true
+    end;
+    (sm_cnt.(i), sm_max.(i), sm_min.(i))
+  in
+  let node_metric i =
+    match summary_of i with
+    | 0, _, _ -> (-1, 0)
+    | 1, mx, _ -> (mx, mx)
+    | _, mx, mn -> (mx - mn, mx)
   in
   let costs_tiebreak n = Strength.spill_cost str n in
   let cost_arr = Array.make n_cap 0 in
   let cost_ok = Array.make n_cap false in
   let cost_of i =
     if not cost_ok.(i) then begin
-      cost_arr.(i) <- costs_tiebreak (Regbits.reg_at cpt i);
+      cost_arr.(i) <- costs_tiebreak (reg_of_idx i);
       cost_ok.(i) <- true
     end;
     cost_arr.(i)
@@ -224,8 +321,7 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
           || (hk2.(a) = hk2.(b)
              && (cost_of a > cost_of b
                 || (cost_of a = cost_of b
-                   && Reg.compare (Regbits.reg_at cpt a) (Regbits.reg_at cpt b)
-                      < 0)))))
+                   && Reg.compare (reg_of_idx a) (reg_of_idx b) < 0)))))
   in
   let swap x y =
     let a = heap.(x) and b = heap.(y) in
@@ -254,7 +350,7 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
     end
   in
   let set_keys i =
-    let d, s = node_metric (Regbits.reg_at cpt i) in
+    let d, s = node_metric i in
     let p1, p2 = match policy with Differential -> (d, s) | Strongest | Fifo -> (s, d) in
     hk1.(i) <- p1;
     hk2.(i) <- p2
@@ -281,20 +377,30 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
     end
   in
   let heap_refresh i =
+    let o1 = hk1.(i) and o2 = hk2.(i) in
     set_keys i;
-    let x = hpos.(i) in
-    if x >= 0 then begin
-      sift_up x;
-      sift_down hpos.(i)
+    (* Unchanged keys leave the stored heap exactly as it was — the
+       sifts would compare their way straight back to the same layout,
+       so skip them. *)
+    if hk1.(i) <> o1 || hk2.(i) <> o2 then begin
+      let x = hpos.(i) in
+      if x >= 0 then begin
+        sift_up x;
+        sift_down hpos.(i)
+      end
     end
   in
   let dirty = Array.make n_cap false in
   let dirty_list = ref [] in
   let mark_dirty i =
-    mok.(i) <- false;
-    if not dirty.(i) then begin
-      dirty.(i) <- true;
-      dirty_list := i :: !dirty_list
+    (* A node without preferences has the constant summary (0, 0, _) —
+       no invalidation event can change its key, so never dirty it. *)
+    if Array.length (prefs_of i) > 0 then begin
+      sm_ok.(i) <- false;
+      if not dirty.(i) then begin
+        dirty.(i) <- true;
+        dirty_list := i :: !dirty_list
+      end
     end
   in
   let flush_dirty () =
@@ -306,40 +412,53 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         if hpos.(i) >= 0 then heap_refresh i)
       ds
   in
-  (* Assigning or spilling [n] can change the metric of its graph
-     neighbors (availability) and of preference-related nodes. *)
-  let invalidate_after n =
-    Igraph.iter_adj_idx g (nidx n) mark_dirty;
-    List.iter (fun (u, _) -> mark_dirty (nidx u)) (Rpg.incoming rpg n);
-    List.iter
-      (fun (p : Rpg.pref) ->
-        match p.Rpg.target with
-        | Rpg.Coalesce t | Rpg.Seq_plus t | Rpg.Seq_minus t ->
-            mark_dirty (nidx t)
-        | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
-      (Rpg.prefs rpg n)
+  (* The summary-invalidation contract (module header).  [colored]
+     carries the machine-register index the node just took, if any:
+     graph neighbors then lose that register (forbidden-mask update)
+     and their summaries go dirty in the same walk.  A spill takes no
+     color, so neighbors are left alone; only the preference edges —
+     sources of incoming preferences, targets of outgoing ones — are
+     invalidated on both paths. *)
+  let invalidate_after i ~colored =
+    (match colored with
+    | Some c ->
+        let bit = 1 lsl c in
+        Igraph.iter_adj_idx g i (fun nb ->
+            forbidden.(nb) <- forbidden.(nb) lor bit;
+            mark_dirty nb)
+    | None -> ());
+    Array.iter (fun (_, ui, _) -> mark_dirty ui) (incoming_of i);
+    Array.iter (fun (_, tgt) -> if tgt >= 0 then mark_dirty tgt) (prefs_of i)
   in
-  let is_risk n = Reg.Set.mem n spill_risk in
-  (* Ready set.  [risk_list] keeps CPG-queue order; under Fifo the
-     whole queue does. *)
-  let fifo_q : Reg.t list ref = ref [] in
-  let risk_list : Reg.t list ref = ref [] in
+  let risk_bits = Regbits.Set.create n_cap in
+  Reg.Set.iter (fun r -> Regbits.Set.add risk_bits (nidx r)) spill_risk;
+  let is_risk i = Regbits.Set.mem risk_bits i in
+  (* Ready set, as node indices.  [risk_list] keeps CPG-queue order;
+     under Fifo the whole queue does. *)
+  let fifo_q : int list ref = ref [] in
+  let risk_list : int list ref = ref [] in
   let add_ready news =
     match policy with
     | Fifo -> fifo_q := news @ !fifo_q
     | Differential | Strongest ->
         risk_list := List.filter is_risk news @ !risk_list;
-        List.iter (fun r -> if not (is_risk r) then heap_push (nidx r)) news
+        List.iter (fun i -> if not (is_risk i) then heap_push i) news
   in
-  let remove_ready n =
+  let remove_ready i =
     match policy with
-    | Fifo -> fifo_q := List.filter (fun x -> not (Reg.equal x n)) !fifo_q
+    | Fifo -> fifo_q := List.filter (fun x -> x <> i) !fifo_q
     | Differential | Strongest ->
-        if is_risk n then
-          risk_list := List.filter (fun x -> not (Reg.equal x n)) !risk_list
-        else heap_remove (nidx n)
+        if is_risk i then risk_list := List.filter (fun x -> x <> i) !risk_list
+        else heap_remove i
   in
-  add_ready (Cpg.initial cpg);
+  (* Newly-ready successors, already as indices on the shared-numbering
+     fast path; [Cpg.resolve_idx] hands them back in the same
+     descending-register order the [Reg.t] layer does. *)
+  let resolve_ready i n =
+    if cpg_shares_numbering then Cpg.resolve_idx cpg i
+    else List.map nidx (Cpg.resolve cpg n)
+  in
+  add_ready (List.map nidx (Cpg.initial cpg));
   let pick_node () =
     match policy with
     | Fifo -> (
@@ -361,7 +480,7 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
             if !hsize = 0 then None
             else begin
               flush_dirty ();
-              Some (Regbits.reg_at cpt heap.(0))
+              Some heap.(0)
             end)
   in
   let bump which =
@@ -374,37 +493,37 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
       | `Limited -> { s with honored_limited = s.honored_limited + 1 }
       | `Active -> { s with active_spills = s.active_spills + 1 })
   in
-  let finish n =
-    invalidate_after n;
-    remove_ready n;
-    add_ready (Cpg.resolve cpg n)
+  let finish i n ~colored =
+    invalidate_after i ~colored;
+    remove_ready i;
+    add_ready (resolve_ready i n)
   in
-  let spill n =
-    Regbits.Set.add spilled_bits (nidx n);
-    finish n
+  let spill i n =
+    Regbits.Set.add spilled_bits i;
+    finish i n ~colored:None
   in
-  let assign n =
-    let i = nidx n in
+  let assign i =
+    let n = reg_of_idx i in
     let cls = Igraph.cls g n in
     let ncls = cls_code cls in
     let avail = available_idx i in
-    if avail = 0 then spill n
+    if avail = 0 then spill i n
     else begin
       let resolved =
-        List.map (fun p -> (p, resolve ncls avail p n)) (Rpg.prefs rpg n)
+        Array.map (fun (p, tgt) -> (p, tgt, resolve ncls avail p n tgt))
+          (prefs_of i)
       in
       (* Honorable preferences with positive effective strength,
          strongest first (stable sort over the prefs order, as
          before). *)
       let honorable =
-        List.filter_map
-          (fun (p, r) ->
-            match r with
-            | Screen _ | Want_memory ->
-                let e = eff_strength ncls p r in
-                if e > 0 then Some (p, r, e) else None
-            | Defer | Dead -> None)
-          resolved
+        Array.to_list resolved
+        |> List.filter_map (fun (p, _, r) ->
+               match r with
+               | Screen _ | Want_memory ->
+                   let e = eff_strength ncls p r in
+                   if e > 0 then Some (p, r, e) else None
+               | Defer | Dead -> None)
         |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
       in
       let strongest_is_memory =
@@ -412,7 +531,7 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
       in
       if strongest_is_memory then begin
         bump `Active;
-        spill n
+        spill i n
       end
       else begin
         (* Step 4.2: screen, strongest first. *)
@@ -440,33 +559,35 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         let keep_if_nonempty s =
           if s land !current <> 0 then current := s land !current
         in
-        List.iter
-          (fun (p, r) ->
+        (* A [Defer] resolution implies a virtual, pre-interned target:
+           physical targets always resolve to [Screen] or [Dead]. *)
+        Array.iter
+          (fun ((p : Rpg.pref), tgt, r) ->
             if r = Defer then
               match p.Rpg.target with
-              | Rpg.Coalesce t -> keep_if_nonempty (available t)
-              | Rpg.Seq_plus t ->
+              | Rpg.Coalesce _ -> keep_if_nonempty (available_idx tgt)
+              | Rpg.Seq_plus _ ->
                   (* n wants reg(t)+1: keep c with c-1 available to t. *)
-                  keep_if_nonempty (available t lsl 1 land all_mask)
-              | Rpg.Seq_minus t -> keep_if_nonempty (available t lsr 1)
+                  keep_if_nonempty (available_idx tgt lsl 1 land all_mask)
+              | Rpg.Seq_minus _ -> keep_if_nonempty (available_idx tgt lsr 1)
               | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
           resolved;
-        List.iter
-          (fun (u, (p : Rpg.pref)) ->
+        Array.iter
+          (fun (u, ui, (p : Rpg.pref)) ->
             if
               Reg.is_virtual u
-              && color_idx.(nidx u) < 0
-              && not (Regbits.Set.mem spilled_bits (nidx u))
+              && color_idx.(ui) < 0
+              && not (Regbits.Set.mem spilled_bits ui)
             then
               match p.Rpg.target with
-              | Rpg.Coalesce _ -> keep_if_nonempty (available u)
+              | Rpg.Coalesce _ -> keep_if_nonempty (available_idx ui)
               | Rpg.Seq_plus _ ->
                   (* u wants reg(n)+1: keep c with c+1 available to u. *)
-                  keep_if_nonempty (available u lsr 1)
+                  keep_if_nonempty (available_idx ui lsr 1)
               | Rpg.Seq_minus _ ->
-                  keep_if_nonempty (available u lsl 1 land all_mask)
+                  keep_if_nonempty (available_idx ui lsl 1 land all_mask)
               | Rpg.Kind | Rpg.In_limited | Rpg.Memory -> ())
-          (Rpg.incoming rpg n);
+          (incoming_of i);
         (* Step 4.4: deterministic final pick — ascending scan keeps the
            lowest register among score ties. *)
         let volw = Strength.volatility str n in
@@ -485,9 +606,9 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
         if !choice >= 0 then begin
           color_idx.(i) <- !choice;
           Reg.Tbl.replace colors n (Reg.phys cls !choice);
-          finish n
+          finish i n ~colored:(Some !choice)
         end
-        else spill n
+        else spill i n
       end
     end
   in
@@ -497,8 +618,8 @@ let run (m : Machine.t) g (rpg : Rpg.t) (cpg : Cpg.t) (str : Strength.t)
     if !guard < 0 then invalid_arg "Pdgc_select.run: traversal did not settle";
     match pick_node () with
     | None -> ()
-    | Some n ->
-        assign n;
+    | Some i ->
+        assign i;
         loop ()
   in
   loop ();

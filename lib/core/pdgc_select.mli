@@ -21,7 +21,12 @@
       targeting this one) veto registers that would make their later
       honoring impossible;
     - 4.4: among survivors, take the register whose kind benefits the
-      node most (index order as tie-break). *)
+      node most (index order as tie-break).
+
+    The honor loop is incremental: per-node availability masks and
+    preference summaries (count, strongest and weakest honorable
+    strength) are maintained under the invalidation contract of
+    DESIGN §3e rather than recomputed per step. *)
 
 (** Ready-node choice policy — the ablation axis for §5.3 step 3. *)
 type policy =
@@ -44,16 +49,30 @@ type outcome = {
   stats : stats;
 }
 
-val run :
-  Machine.t ->
-  Igraph.t ->
-  Rpg.t ->
-  Cpg.t ->
-  Strength.t ->
-  no_spill:(Reg.t -> bool) ->
-  spill_risk:Reg.Set.t ->
-  policy:policy ->
-  fallback_nonvolatile_first:bool ->
-  outcome
-(** [spill_risk] is the set of optimistically pushed (potential spill)
-    nodes; they are selected from the ready queue first. *)
+type params = {
+  no_spill : Reg.t -> bool;
+      (** nodes that must not spill (e.g. already-spilled webs whose
+          reload ranges cannot be split again) *)
+  spill_risk : Reg.Set.t;
+      (** the optimistically pushed (potential spill) nodes; they are
+          selected from the ready queue first *)
+  policy : policy;
+  fallback_nonvolatile_first : bool;
+      (** step 4.4 fallback when preferences are disabled: prefer any
+          nonvolatile register over any volatile one *)
+}
+(** Tuning knobs of a select run.  Build with {!params} so call sites
+    keep compiling when the record grows a field (the
+    [Alloc_common.config] pattern). *)
+
+val params :
+  ?no_spill:(Reg.t -> bool) ->
+  ?spill_risk:Reg.Set.t ->
+  ?policy:policy ->
+  ?fallback_nonvolatile_first:bool ->
+  unit ->
+  params
+(** Defaults: never [no_spill], empty [spill_risk], [Differential],
+    [fallback_nonvolatile_first = false]. *)
+
+val run : Machine.t -> Igraph.t -> Rpg.t -> Cpg.t -> Strength.t -> params -> outcome

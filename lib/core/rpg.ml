@@ -75,6 +75,7 @@ let paired_candidates (fn : Cfg.func) =
 
 let build ?(kinds = `All) ?cpt (_m : Machine.t) (fn : Cfg.func)
     (str : Strength.t) =
+  let supplied = cpt in
   let cpt = match cpt with Some c -> c | None -> Regbits.create () in
   let t =
     {
@@ -181,9 +182,24 @@ let build ?(kinds = `All) ?cpt (_m : Machine.t) (fn : Cfg.func)
                 instr_id = Some i.Instr.id;
               }
         | _ -> ());
-    (* Volatility and memory preferences for every live range. *)
-    Reg.Set.iter
-      (fun r ->
+    (* Volatility and memory preferences for every live range.  A
+       caller-supplied numbering already interns every register of the
+       function body (it comes from the interference graph built over
+       the same [fn]), so its virtual entries are exactly
+       [Cfg.all_vregs fn] — iterate those, sorted to reproduce the
+       [Reg.Set] order, instead of re-scanning the whole function. *)
+    let each_vreg f =
+      match supplied with
+      | Some c ->
+          let vs = ref [] in
+          for i = Regbits.size c - 1 downto 0 do
+            let r = Regbits.reg_at c i in
+            if Reg.is_virtual r then vs := r :: !vs
+          done;
+          List.iter f (List.sort Reg.compare !vs)
+      | None -> Reg.Set.iter f (Cfg.all_vregs fn)
+    in
+    each_vreg (fun r ->
         add_out r { target = Kind; weight = Strength.volatility str r; instr_id = None };
         let mem = Strength.memory str r in
         if mem > 0 then
@@ -193,7 +209,6 @@ let build ?(kinds = `All) ?cpt (_m : Machine.t) (fn : Cfg.func)
               weight = { Strength.vol = mem; nonvol = mem };
               instr_id = None;
             })
-      (Cfg.all_vregs fn)
   end;
   (* Sort every out-edge list strongest-first, once.  [List.sort] is
      stable and the lists were constructed in the same order as the

@@ -9,8 +9,8 @@ type t = {
   crossings : int Reg.Tbl.t; (* freq-weighted calls crossed *)
   freq : (int, int) Hashtbl.t; (* instr id -> frequency *)
   last_use : (int, Reg.Set.t) Hashtbl.t;
-      (* instr id -> registers it uses that die there *)
-  defs_at : (int, Reg.Set.t) Hashtbl.t; (* instr id -> defined registers *)
+      (* copy id -> registers it uses that die there *)
+  defs_at : (int, Reg.Set.t) Hashtbl.t; (* copy id -> defined registers *)
 }
 
 let build (fn : Cfg.func) ~costs ~live ~loops =
@@ -25,16 +25,23 @@ let build (fn : Cfg.func) ~costs ~live ~loops =
         (Liveness.fold_block_backward live b ~init:()
            ~f:(fun () ~live_out i ->
              Hashtbl.replace freq i.Instr.id f;
-             Hashtbl.replace defs_at i.Instr.id
-               (Reg.Set.of_list (Instr.defs i.Instr.kind));
-             let dying =
-               List.filter
-                 (fun r -> not (Reg.Set.mem r live_out))
-                 (Instr.uses i.Instr.kind)
-               |> Reg.Set.of_list
-             in
-             if not (Reg.Set.is_empty dying) then
-               Hashtbl.replace last_use i.Instr.id dying;
+             (* [defs_at] / [last_use] back the Ideal_Inst_Cost test of
+                {!coalesce}, which is only ever asked about copies:
+                building the per-instruction sets for every instruction
+                would dominate this pass for nothing. *)
+             (match i.Instr.kind with
+             | Instr.Move _ ->
+                 Hashtbl.replace defs_at i.Instr.id
+                   (Reg.Set.of_list (Instr.defs i.Instr.kind));
+                 let dying =
+                   List.filter
+                     (fun r -> not (Reg.Set.mem r live_out))
+                     (Instr.uses i.Instr.kind)
+                   |> Reg.Set.of_list
+                 in
+                 if not (Reg.Set.is_empty dying) then
+                   Hashtbl.replace last_use i.Instr.id dying
+             | _ -> ());
              match i.Instr.kind with
              | Instr.Call { dst; _ } ->
                  let across =

@@ -66,6 +66,17 @@ module Vec = struct
       true
     end
 
+  let filter_in_place v ~f =
+    let j = ref 0 in
+    for i = 0 to v.len - 1 do
+      let x = v.data.(i) in
+      if f x then begin
+        v.data.(!j) <- x;
+        incr j
+      end
+    done;
+    v.len <- !j
+
   let iter v f =
     for i = 0 to v.len - 1 do
       f v.data.(i)

@@ -53,6 +53,10 @@ module Vec : sig
   (** Remove the first occurrence of a value (order not preserved);
       [true] if found. *)
 
+  val filter_in_place : t -> f:(int -> bool) -> unit
+  (** Keep only the values satisfying [f], preserving their relative
+      order; [f] runs once per element, left to right. *)
+
   val iter : t -> (int -> unit) -> unit
   val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
   val copy : t -> t

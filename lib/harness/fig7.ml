@@ -106,9 +106,7 @@ let run () =
   let cpg4 = Cpg.build ~k:4 g simp4 in
   let sel =
     Pdgc_select.run machine g rpg cpg3 strength
-      ~no_spill:(fun _ -> false)
-      ~spill_risk:simp3.Simplify.potential_spills
-      ~policy:Pdgc_select.Differential ~fallback_nonvolatile_first:false
+      (Pdgc_select.params ~spill_risk:simp3.Simplify.potential_spills ())
   in
   let assignment =
     List.map

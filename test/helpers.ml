@@ -453,10 +453,13 @@ module Ref_cpg = struct
     let present = Reg.Tbl.create 64 in
     let degree = Reg.Tbl.create 64 in
     let ready = Reg.Tbl.create 64 in
+    (* Residual degree starts at the full interference degree, exactly
+       as [Simplify.run] initializes it: physical neighbors never pop,
+       so their contribution is a permanent constraint. *)
     List.iter
       (fun r ->
         Reg.Tbl.replace present r ();
-        Reg.Tbl.replace degree r (Reg.Set.cardinal (wig_adj r)))
+        Reg.Tbl.replace degree r (Igraph.degree g r))
       order;
     List.iter
       (fun r -> if Reg.Tbl.find degree r < k then Reg.Tbl.replace ready r ())

@@ -93,6 +93,41 @@ let random_topo_color ~k g cpg rng =
   done;
   !ok
 
+(* to_dot must emit nodes and edges in sorted order so dumps diff
+   cleanly across runs: rendered with register-rank names (zero-padded,
+   so lexicographic order = Reg order), every non-top edge statement
+   must appear in ascending (source, successor) order. *)
+let test_dot_deterministic () =
+  let a = Fig7.run () in
+  List.iter
+    (fun cpg ->
+      let order = List.sort Reg.compare (Cpg.nodes cpg) in
+      let rank r =
+        let rec go i = function
+          | [] -> invalid_arg "rank"
+          | x :: tl -> if Reg.equal x r then i else go (i + 1) tl
+        in
+        go 0 order
+      in
+      let name r = Printf.sprintf "n%04d" (rank r) in
+      let render () = Format.asprintf "%a" (Cpg.to_dot ~name) cpg in
+      let d = render () in
+      check Alcotest.string "stable across renders" d (render ());
+      let contains l sub =
+        let n = String.length sub and len = String.length l in
+        let rec go i = i + n <= len && (String.sub l i n = sub || go (i + 1)) in
+        go 0
+      in
+      let edges =
+        String.split_on_char '\n' d
+        |> List.filter (fun l -> contains l "->" && not (contains l "top"))
+      in
+      check Alcotest.bool "at least one edge rendered" true (edges <> []);
+      check
+        (Alcotest.list Alcotest.string)
+        "edge statements sorted" (List.sort compare edges) edges)
+    [ a.Fig7.cpg3; a.Fig7.cpg4 ]
+
 let prop_any_topological_order_colors =
   qcheck ~count:60 "any CPG topological order colors within k" seed_gen
     (fun seed ->
@@ -151,6 +186,7 @@ let () =
           tc "k=4 relaxes the order" test_fig7_cpg_k4_relaxed;
           tc "acyclic" test_acyclic;
           tc "resolve bookkeeping" test_resolve_bookkeeping;
+          tc "to_dot deterministic and sorted" test_dot_deterministic;
         ] );
       ( "props",
         [

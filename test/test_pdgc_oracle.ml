@@ -124,7 +124,8 @@ let cpg_matches dense oracle =
   in
   drain (Cpg.initial dense)
 
-let select_matches policy fallback (fn, a, str) kinds =
+let select_matches ?no_spill_set ?spill_risk_set policy fallback (fn, a, str)
+    kinds =
   let g = a.Alloc_common.graph in
   let k = machine.Machine.k in
   let rpg = Rpg.build ~kinds ~cpt:(Igraph.compact g) machine fn str in
@@ -132,11 +133,20 @@ let select_matches policy fallback (fn, a, str) kinds =
   let simp = pdgc_simplify ~k g a.Alloc_common.costs in
   let cpg = Cpg.build ~k g simp in
   let ref_cpg = Ref_cpg.build ~k g simp in
-  let no_spill _ = false in
-  let spill_risk = simp.Simplify.potential_spills in
+  let no_spill =
+    match no_spill_set with
+    | None -> fun _ -> false
+    | Some s -> fun r -> Reg.Set.mem r s
+  in
+  let spill_risk =
+    match spill_risk_set with
+    | None -> simp.Simplify.potential_spills
+    | Some s -> s
+  in
   let sel =
-    Pdgc_select.run machine g rpg cpg str ~no_spill ~spill_risk ~policy
-      ~fallback_nonvolatile_first:fallback
+    Pdgc_select.run machine g rpg cpg str
+      (Pdgc_select.params ~no_spill ~spill_risk ~policy
+         ~fallback_nonvolatile_first:fallback ())
   in
   let ref_policy =
     match policy with
@@ -170,6 +180,25 @@ let select_matches policy fallback (fn, a, str) kinds =
   && sel.Pdgc_select.stats.Pdgc_select.active_spills
      = ref_sel.Ref_select.stats.Ref_select.active_spills
 
+(* Drain both graphs resolving a *random* ready node at each step.  The
+   queue-order drain above exercises only one interleaving of the
+   incremental pending counters; the reworked relaxation must hand back
+   identical readiness sets under every resolution order. *)
+let cpg_random_drain_matches rng dense oracle =
+  let rec drain ready =
+    match ready with
+    | [] -> true
+    | _ ->
+        let i = Rng.int rng (List.length ready) in
+        let n = List.nth ready i in
+        let rest = List.filteri (fun j _ -> j <> i) ready in
+        let rd = Cpg.resolve dense n in
+        let ro = Ref_cpg.resolve oracle n in
+        reg_list_equal rd ro && drain (rest @ rd)
+  in
+  reg_list_equal (Cpg.initial dense) (Ref_cpg.initial oracle)
+  && drain (Cpg.initial dense)
+
 let built_cpgs (_fn, a, _str) =
   let g = a.Alloc_common.graph in
   let k = machine.Machine.k in
@@ -180,7 +209,7 @@ let built_cpgs (_fn, a, _str) =
       Ref_cpg.of_total_order simp.Simplify.stack );
   ]
 
-let check_fn name fn =
+let check_fn ?(seed = 0) name fn =
   let p = prepare_fn fn in
   List.iter
     (fun kinds ->
@@ -201,7 +230,42 @@ let check_fn name fn =
       (Pdgc_select.Differential, true, `Coalesce_only);
       (Pdgc_select.Strongest, false, `All);
       (Pdgc_select.Fifo, false, `All);
-    ]
+    ];
+  (* Incremental-path coverage: random resolve orders over fresh graph
+     pairs, then select runs under randomized spill-risk / no-spill
+     subsets (which permute the assignment interleaving) across all
+     three policies. *)
+  let rng = Rng.create ((seed * 31) + Hashtbl.hash name) in
+  for _round = 1 to 3 do
+    List.iter
+      (fun (d, o) ->
+        if not (cpg_random_drain_matches rng d o) then
+          Alcotest.failf "dense/reference CPG mismatch (random drain) in %s"
+            name)
+      (built_cpgs p)
+  done;
+  let fn', _, _ = p in
+  let vregs = Reg.Set.elements (Cfg.all_vregs fn') in
+  let random_subset () =
+    Reg.Set.of_list (List.filter (fun _ -> Rng.int rng 4 = 0) vregs)
+  in
+  for _round = 1 to 3 do
+    let no_spill_set = random_subset () in
+    let spill_risk_set = random_subset () in
+    let policy =
+      match Rng.int rng 3 with
+      | 0 -> Pdgc_select.Differential
+      | 1 -> Pdgc_select.Strongest
+      | _ -> Pdgc_select.Fifo
+    in
+    let fallback = Rng.int rng 2 = 0 in
+    if
+      not
+        (select_matches ~no_spill_set ~spill_risk_set policy fallback p `All)
+    then
+      Alcotest.failf "dense/reference select mismatch (randomized params) in %s"
+        name
+  done
 
 let test_suite_programs () =
   List.iter
@@ -216,7 +280,8 @@ let prop_random =
   qcheck ~count:25 "dense PDGC core = tree-based oracle (random programs)"
     seed_gen (fun seed ->
       let p = prepared_random_program seed in
-      List.iter (fun fn -> check_fn (Printf.sprintf "seed %d" seed) fn)
+      List.iter
+        (fun fn -> check_fn ~seed (Printf.sprintf "seed %d" seed) fn)
         p.Cfg.funcs;
       true)
 
