@@ -22,9 +22,17 @@
      per-input SSA pressure-certification rows (input, k, funcs,
      maxlive_int, maxlive_float, certified_funcs).  These are static
      stats, not timings, so the --prev diff ignores them;
-   - "pdgc-bench/6": the two hot-phase rows (cpg-relax, select) are
-     recorded on both figure inputs (mtrt and jack), and the bechamel
-     rows carry the same-run chaitin baselines for fig10 and fig11.
+   - "pdgc-bench/6" and later: the two hot-phase rows (cpg-relax,
+     select) are recorded on both figure inputs (mtrt and jack), and
+     the bechamel rows carry the same-run chaitin baselines for fig10
+     and fig11;
+   - "pdgc-bench/7": a non-empty "serve" array of allocation-daemon
+     replay rows ("cold" and "warm"), each carrying functions,
+     fns_per_s, p50_ms, p99_ms, ns_per_fn and cache_hit_rate.  The
+     ns_per_fn metric joins the --prev diff (bigger = worse, keyed
+     "serve:cold" / "serve:warm").  On full (non-smoke) recordings the
+     warm replay must be at least 10x faster than the cold one — the
+     content-addressed cache earning its keep.
 
    With [--prev PREV], additionally diffs FILE against the previous
    trajectory file PREV: every row recorded in both files (bechamel
@@ -230,6 +238,7 @@ let check_schema = function
         | Some (Str "pdgc-bench/4") -> 4
         | Some (Str "pdgc-bench/5") -> 5
         | Some (Str "pdgc-bench/6") -> 6
+        | Some (Str "pdgc-bench/7") -> 7
         | Some (Str s) -> raise (Bad (Printf.sprintf "unknown schema %S" s))
         | Some _ -> raise (Bad "schema is not a string")
         | None -> 1
@@ -296,6 +305,54 @@ let check_schema = function
                 | _ -> raise (Bad "analysis row is not an object"))
               rows
         | _ -> raise (Bad "analysis is not an array"));
+      if version >= 7 then begin
+        let smoke =
+          match List.assoc_opt "smoke" fields with
+          | Some (Bool b) -> b
+          | _ -> raise (Bad "missing smoke flag")
+        in
+        let serve_rows =
+          match find "serve" with
+          | Arr [] -> raise (Bad "empty serve array")
+          | Arr rows ->
+              List.map
+                (function
+                  | Obj r ->
+                      let name =
+                        match List.assoc_opt "name" r with
+                        | Some (Str s) -> s
+                        | _ -> raise (Bad "serve row lacks a name")
+                      in
+                      let num k =
+                        match List.assoc_opt k r with
+                        | Some (Num f) -> f
+                        | _ ->
+                            raise (Bad (Printf.sprintf "serve row lacks %S" k))
+                      in
+                      List.iter
+                        (fun k -> ignore (num k))
+                        [ "functions"; "fns_per_s"; "p50_ms"; "p99_ms" ];
+                      ignore (num "cache_hit_rate");
+                      (name, num "ns_per_fn")
+                  | _ -> raise (Bad "serve row is not an object"))
+                rows
+          | _ -> raise (Bad "serve is not an array")
+        in
+        match
+          (List.assoc_opt "cold" serve_rows, List.assoc_opt "warm" serve_rows)
+        with
+        | Some cold, Some warm ->
+            (* The acceptance bar for the content-addressed cache: a
+               warm (fully cached) replay at least 10x the cold
+               throughput.  Smoke runs are too small to judge. *)
+            if (not smoke) && warm *. 10.0 > cold then
+              raise
+                (Bad
+                   (Printf.sprintf
+                      "warm serve replay not 10x cold (%.0f vs %.0f ns/fn)"
+                      warm cold))
+        | _ -> raise (Bad "serve array lacks cold/warm rows")
+      end;
       (match find "suite_scale" with
       | Arr rows ->
           List.iter
@@ -346,6 +403,22 @@ let metric_rows = function
       in
       timings "bechamel";
       timings "core";
+      (* Serve rows gate on ns_per_fn: wall time per served function,
+         so the shared "bigger = worse" tolerance applies unchanged. *)
+      (match List.assoc_opt "serve" fields with
+      | Some (Arr entries) ->
+          List.iter
+            (function
+              | Obj r -> (
+                  match
+                    (List.assoc_opt "name" r, List.assoc_opt "ns_per_fn" r)
+                  with
+                  | Some (Str name), Some (Num ns) ->
+                      rows := ("serve:" ^ name, ns) :: !rows
+                  | _ -> ())
+              | _ -> ())
+            entries
+      | _ -> ());
       (match List.assoc_opt "suite_scale" fields with
       | Some (Arr entries) ->
           List.iter

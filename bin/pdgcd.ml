@@ -1,0 +1,62 @@
+(* The allocation daemon: serve register allocation over a Unix-domain
+   socket (see lib/serve).  Runs until a shutdown request.
+
+   Exit codes: 0 = clean shutdown, 1 = runtime failure (cannot bind,
+   unexpected exception), 2 = bad usage (the regression rule in
+   bin/dune pins this, as for the other CLIs). *)
+
+let usage ppf =
+  Format.fprintf ppf
+    "usage: pdgcd --socket PATH [--jobs N] [--cache-capacity N]@.\
+     serves allocation requests naming any of: %s@."
+    (String.concat ", " (Allocator.names ()))
+
+let bad fmt =
+  Format.kasprintf
+    (fun msg ->
+      Format.eprintf "pdgcd: %s@." msg;
+      usage Format.err_formatter;
+      exit 2)
+    fmt
+
+let () =
+  let socket = ref "" in
+  let jobs = ref (Engine.default_jobs ()) in
+  let cache_capacity = ref 0 in
+  let int_arg name n k =
+    match int_of_string_opt n with
+    | Some n -> k n
+    | None -> bad "%s expects an integer, got %S" name n
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--help" :: _ | "-h" :: _ ->
+        usage Format.std_formatter;
+        exit 0
+    | "--socket" :: path :: rest ->
+        socket := path;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        int_arg "--jobs" n (fun n ->
+            if n < 1 then bad "--jobs expects a positive integer, got %d" n;
+            jobs := n);
+        parse rest
+    | "--cache-capacity" :: n :: rest ->
+        int_arg "--cache-capacity" n (fun n -> cache_capacity := n);
+        parse rest
+    | [ ("--socket" | "--jobs" | "--cache-capacity") ] as last ->
+        bad "missing argument for %s" (List.hd last)
+    | arg :: _ -> bad "unknown argument %S" arg
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !socket = "" then bad "missing --socket";
+  try
+    Server.run
+      { Server.socket_path = !socket; jobs = !jobs; cache_capacity = !cache_capacity }
+  with
+  | Unix.Unix_error (e, op, arg) ->
+      Format.eprintf "pdgcd: %s: %s(%s)@." (Unix.error_message e) op arg;
+      exit 1
+  | exn ->
+      Format.eprintf "pdgcd: %s@." (Printexc.to_string exn);
+      exit 1

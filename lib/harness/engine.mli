@@ -20,6 +20,42 @@ val default_jobs : unit -> int
     (sequential).  [PDGC_JOBS=1] therefore forces the exact sequential
     path everywhere. *)
 
+(** {2 Persistent worker pool}
+
+    [map] spawns and joins its domains per call — the right shape for
+    one-shot drivers, and the wrong one for the allocation daemon,
+    which dispatches thousands of small batches over its lifetime.
+    [Pool] keeps the worker domains alive across batches: workers park
+    on a condition variable between submissions, and a batch submission
+    publishes the work and wakes them.  One batch runs at a time per
+    pool ({!Pool.map} is not reentrant); the determinism contract is
+    [map]'s — results merged in input order, first failure re-raised in
+    input order, so any pool size produces bit-for-bit the sequential
+    output provided [f] follows the {!Allocator} domain-safety
+    contract. *)
+
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawn a pool of [min jobs (Domain.recommended_domain_count ())]
+      workers (the caller of {!map} counts as worker 0, so [jobs - 1]
+      domains are spawned).  [jobs <= 1] spawns nothing and {!map}
+      degenerates to [List.map]. *)
+
+  val jobs : t -> int
+  (** The effective worker count (after the host cap). *)
+
+  val map : t -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
+  (** Like {!Engine.map} but on the persistent workers: no domain is
+      spawned or joined.  Must not be called concurrently from two
+      threads, and not after {!shutdown}. *)
+
+  val shutdown : t -> unit
+  (** Wake every parked worker with a stop flag and join the domains.
+      Idempotent. *)
+end
+
 val map : ?chunk:int -> jobs:int -> (worker:int -> 'a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] runs [f ~worker x] for every [x], spreading items
     over [min jobs (length xs)] workers ([worker] ranges over

@@ -47,22 +47,21 @@ let check_phase ~machine ?result ~what phase fn =
            (Format.asprintf "%s: %s phase contract violated:@.%a" what
               (Pass.phase_label phase) Verify.report errors))
 
-let prepare ?(check_phases = false) m (p : Cfg.program) =
-  let funcs =
-    List.map
-      (fun f ->
-        let ssa = Ssa_construct.run f in
-        if check_phases then
-          check_phase ~machine:m ~what:"prepare" Pass.Ssa ssa;
-        Ssa_destruct.run ssa)
-      p.Cfg.funcs
-  in
-  let prepared = Pair_schedule.program (Lower.program m { p with Cfg.funcs }) in
+(* Every prepare stage (SSA round-trip, convention lowering, paired-load
+   scheduling) is per-function, so preparing a whole program is exactly
+   the per-function composition mapped over it.  The allocation daemon
+   leans on this: it prepares request functions one at a time inside
+   pool jobs and still matches [prepare] bit-for-bit. *)
+let prepare_func ?(check_phases = false) m f =
+  let ssa = Ssa_construct.run f in
+  if check_phases then check_phase ~machine:m ~what:"prepare" Pass.Ssa ssa;
+  let prepared = Pair_schedule.func (Lower.func m (Ssa_destruct.run ssa)) in
   if check_phases then
-    List.iter
-      (check_phase ~machine:m ~what:"prepare" Pass.Prepared)
-      prepared.Cfg.funcs;
+    check_phase ~machine:m ~what:"prepare" Pass.Prepared prepared;
   prepared
+
+let prepare ?check_phases m (p : Cfg.program) =
+  { p with Cfg.funcs = List.map (prepare_func ?check_phases m) p.Cfg.funcs }
 
 type allocated = {
   machine : Machine.t;

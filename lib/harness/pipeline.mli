@@ -29,6 +29,13 @@ val all_algos : Allocator.t list
 (** [algos] plus the priority-based extension — exactly the registry
     contents, in registration order. *)
 
+val prepare_func : ?check_phases:bool -> Machine.t -> Cfg.func -> Cfg.func
+(** One function through the prepare pipeline (SSA construction and
+    destruction, convention lowering, paired-load scheduling).  Every
+    stage is per-function, so [prepare] is exactly this mapped over the
+    program — the allocation daemon prepares request functions inside
+    its pool jobs and still matches the one-shot path bit-for-bit. *)
+
 val prepare : ?check_phases:bool -> Machine.t -> Cfg.program -> Cfg.program
 (** With [check_phases] (default [false]), the registered phase-[Ssa]
     passes run over each function's SSA snapshot and the phase-

@@ -213,6 +213,177 @@ let map_instrs f rewrite =
   in
   with_blocks f blocks
 
+(* {1 Body digest}
+
+   A stable content hash of the function body, used as the cache key of
+   the allocation service.  The serialization walks the current block
+   list and flat instruction arrays directly — never the lazy numbering
+   cache — and covers exactly what allocation observes: block structure
+   (order, labels, entry), every instruction kind in body order, and
+   the class of every register occurrence.  Instruction ids are
+   excluded on purpose: they record construction history, not meaning,
+   and including them would make structurally identical bodies hash
+   apart.  [clone] shares the instruction arrays and copies the class
+   table, so digests are invariant under it; any single-instruction
+   edit changes the serialized stream and therefore the digest. *)
+
+(* Zigzag varint, allocation-free: the digest is recomputed on every
+   daemon cache lookup, so a [string_of_int] per field shows up. *)
+let digest_int buf n =
+  let u = ref (if n >= 0 then n lsl 1 else (((-1) - n) lsl 1) lor 1) in
+  while !u >= 0x80 do
+    Buffer.add_char buf (Char.unsafe_chr (0x80 lor (!u land 0x7f)));
+    u := !u lsr 7
+  done;
+  Buffer.add_char buf (Char.unsafe_chr !u)
+
+let digest_reg f buf r =
+  digest_int buf r;
+  (* The class byte matters: the same kind over a float-class register
+     allocates against the other register file. *)
+  let cls =
+    if Reg.is_phys r then Reg.phys_cls r
+    else
+      match Reg.Tbl.find_opt f.reg_cls r with
+      | Some c -> c
+      | None -> Reg.Int_class
+  in
+  Buffer.add_char buf (match cls with Reg.Int_class -> 'i' | Reg.Float_class -> 'f')
+
+let binop_code : Instr.binop -> int = function
+  | Instr.Add -> 0
+  | Instr.Sub -> 1
+  | Instr.Mul -> 2
+  | Instr.Div -> 3
+  | Instr.Rem -> 4
+  | Instr.And -> 5
+  | Instr.Or -> 6
+  | Instr.Xor -> 7
+  | Instr.Shl -> 8
+  | Instr.Shr -> 9
+
+let cmp_code : Instr.cmp -> int = function
+  | Instr.Eq -> 0
+  | Instr.Ne -> 1
+  | Instr.Lt -> 2
+  | Instr.Le -> 3
+  | Instr.Gt -> 4
+  | Instr.Ge -> 5
+
+let unop_code : Instr.unop -> int = function
+  | Instr.Neg -> 0
+  | Instr.Not -> 1
+  | Instr.Itof -> 2
+  | Instr.Ftoi -> 3
+
+let digest_kind f buf (k : Instr.kind) =
+  let tag c = Buffer.add_char buf c in
+  let reg = digest_reg f buf in
+  let int = digest_int buf in
+  match k with
+  | Instr.Move { dst; src } ->
+      tag 'M';
+      reg dst;
+      reg src
+  | Instr.Const { dst; value } ->
+      tag 'C';
+      reg dst;
+      Buffer.add_int64_le buf value
+  | Instr.Unop { op; dst; src } ->
+      tag 'U';
+      int (unop_code op);
+      reg dst;
+      reg src
+  | Instr.Binop { op; dst; src1; src2 } ->
+      tag 'B';
+      int (binop_code op);
+      reg dst;
+      reg src1;
+      reg src2
+  | Instr.Cmp { op; dst; src1; src2 } ->
+      tag 'c';
+      int (cmp_code op);
+      reg dst;
+      reg src1;
+      reg src2
+  | Instr.Load { dst; base; offset } ->
+      tag 'L';
+      reg dst;
+      reg base;
+      int offset
+  | Instr.Load_pair { dst_lo; dst_hi; base; offset } ->
+      tag 'P';
+      reg dst_lo;
+      reg dst_hi;
+      reg base;
+      int offset
+  | Instr.Store { src; base; offset } ->
+      tag 'S';
+      reg src;
+      reg base;
+      int offset
+  | Instr.Limited { dst; src } ->
+      tag 'l';
+      reg dst;
+      reg src
+  | Instr.Call { dst; callee; args } ->
+      tag 'K';
+      (match dst with
+      | None -> tag 'n'
+      | Some d ->
+          tag 's';
+          reg d);
+      digest_int buf (String.length callee);
+      Buffer.add_string buf callee;
+      int (List.length args);
+      List.iter reg args
+  | Instr.Param { dst; index } ->
+      tag 'p';
+      reg dst;
+      int index
+  | Instr.Spill { src; slot } ->
+      tag 'V';
+      reg src;
+      int slot
+  | Instr.Reload { dst; slot } ->
+      tag 'R';
+      reg dst;
+      int slot
+  | Instr.Jump l ->
+      tag 'J';
+      int l
+  | Instr.Branch { cond; ifso; ifnot } ->
+      tag 'b';
+      reg cond;
+      int ifso;
+      int ifnot
+  | Instr.Ret None -> tag 'r'
+  | Instr.Ret (Some r) ->
+      tag 'T';
+      reg r
+  | Instr.Phi { dst; srcs } ->
+      tag 'F';
+      reg dst;
+      int (List.length srcs);
+      List.iter
+        (fun (l, r) ->
+          int l;
+          reg r)
+        srcs
+
+let body_digest f =
+  let buf = Buffer.create 1024 in
+  digest_int buf f.n_params;
+  digest_int buf f.entry;
+  digest_int buf (List.length f.blocks);
+  List.iter
+    (fun b ->
+      digest_int buf b.label;
+      digest_int buf (Array.length b.instrs);
+      Array.iter (fun i -> digest_kind f buf i.Instr.kind) b.instrs)
+    f.blocks;
+  Digest.string (Buffer.contents buf)
+
 let find_func p name =
   match List.find_opt (fun f -> f.name = name) p.funcs with
   | Some f -> f

@@ -117,6 +117,17 @@ val all_regs : func -> Reg.Set.t
 val map_instrs : func -> (Instr.t -> Instr.kind) -> func
 (** Rewrite every instruction kind in place (ids preserved). *)
 
+val body_digest : func -> string
+(** A stable 16-byte content digest of the function body: block
+    structure (order, labels, entry, [n_params]), every instruction
+    kind in body order, and the register class of every register
+    occurrence.  Instruction ids, the function name and the fresh-name
+    counters are excluded — the digest depends only on what allocation
+    observes, never on construction history, physical equality or the
+    lazy numbering cache.  Invariant under {!clone}; changed by any
+    single-instruction edit.  This is the content-addressed cache key
+    of the allocation service ([lib/serve]). *)
+
 val find_func : program -> string -> func
 
 (** {1 Validation and printing} *)

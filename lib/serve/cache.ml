@@ -1,0 +1,96 @@
+(* Hash table over an intrusive doubly-linked recency list: the head is
+   hottest, the tail is the eviction candidate.  All operations are
+   O(1); the sentinel node keeps the splicing branch-free. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a option;  (* None only on the sentinel *)
+  mutable prev : 'a node;
+  mutable next : 'a node;
+}
+
+type 'a t = {
+  table : (string, 'a node) Hashtbl.t;
+  sentinel : 'a node;  (* sentinel.next = hottest, sentinel.prev = coldest *)
+  capacity : int;
+  mutable entries : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let create ~capacity =
+  let rec sentinel = { key = ""; value = None; prev = sentinel; next = sentinel } in
+  {
+    table = Hashtbl.create 1024;
+    sentinel;
+    capacity = max 0 capacity;
+    entries = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let unlink n =
+  n.prev.next <- n.next;
+  n.next.prev <- n.prev
+
+let push_front t n =
+  n.next <- t.sentinel.next;
+  n.prev <- t.sentinel;
+  t.sentinel.next.prev <- n;
+  t.sentinel.next <- n
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      t.hits <- t.hits + 1;
+      unlink n;
+      push_front t n;
+      n.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_coldest t =
+  let n = t.sentinel.prev in
+  if n != t.sentinel then begin
+    unlink n;
+    Hashtbl.remove t.table n.key;
+    t.entries <- t.entries - 1;
+    t.evictions <- t.evictions + 1
+  end
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.value <- Some value;
+      unlink n;
+      push_front t n
+  | None ->
+      if t.capacity > 0 && t.entries >= t.capacity then evict_coldest t;
+      let n =
+        { key; value = Some value; prev = t.sentinel; next = t.sentinel }
+      in
+      push_front t n;
+      Hashtbl.replace t.table key n;
+      t.entries <- t.entries + 1
+
+let stats (t : 'a t) =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = t.entries;
+    capacity = t.capacity;
+  }

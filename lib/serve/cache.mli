@@ -1,0 +1,34 @@
+(** Content-addressed allocation cache with LRU bounding.
+
+    Maps opaque string keys — the daemon keys on (function-body digest,
+    machine config, K, allocator name) — to cached values, evicting the
+    least-recently-used entry once [capacity] is exceeded.  Every
+    lookup counts a hit or a miss and refreshes the entry's recency;
+    counters are monotonic over the cache's lifetime and unaffected by
+    eviction. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] means unbounded (nothing is ever evicted). *)
+
+val find : 'a t -> string -> 'a option
+(** Counted: a [Some] bumps hits and recency, a [None] bumps misses. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) a binding, evicting from the cold end as
+    needed.  Re-adding an existing key replaces the value without
+    eviction. *)
+
+val mem : 'a t -> string -> bool
+(** Uncounted, recency-neutral membership probe. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;  (** 0 = unbounded *)
+}
+
+val stats : 'a t -> stats

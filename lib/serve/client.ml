@@ -1,0 +1,60 @@
+type t = { fd : Unix.file_descr }
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  { fd }
+
+let connect_retry ?(attempts = 100) ?(delay = 0.05) path =
+  let rec go n =
+    match connect path with
+    | t -> t
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when n > 1 ->
+        Unix.sleepf delay;
+        go (n - 1)
+  in
+  go (max 1 attempts)
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let request_encoded t payload =
+  Protocol.write_frame t.fd payload;
+  Protocol.decode_response (Protocol.read_frame t.fd)
+
+let request t req = request_encoded t (Protocol.encode_request req)
+
+let alloc_reply = function
+  | Protocol.Funcs blobs -> Ok blobs
+  | Protocol.Error_reply msg -> Error msg
+  | Protocol.Stats_reply _ | Protocol.Shutdown_ack ->
+      Error "unexpected response to alloc request"
+
+let alloc t ~machine ~algo program =
+  alloc_reply (request t (Protocol.Alloc { machine; algo; program }))
+
+let alloc_encoded t payload = alloc_reply (request_encoded t payload)
+
+let alloc_funcs t ~machine ~algo program =
+  match alloc t ~machine ~algo program with
+  | Error _ as e -> e
+  | Ok blobs -> (
+      try Ok (List.map Protocol.decode_func_reply blobs)
+      with Protocol.Error msg | Codec.Error msg -> Error msg)
+
+let stats t =
+  match request t Protocol.Stats with
+  | Protocol.Stats_reply s -> Ok s
+  | Protocol.Error_reply msg -> Error msg
+  | Protocol.Funcs _ | Protocol.Shutdown_ack ->
+      Error "unexpected response to stats request"
+
+let shutdown t =
+  match request t Protocol.Shutdown with
+  | Protocol.Shutdown_ack -> Ok ()
+  | Protocol.Error_reply msg -> Error msg
+  | Protocol.Funcs _ | Protocol.Stats_reply _ ->
+      Error "unexpected response to shutdown request"

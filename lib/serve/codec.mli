@@ -1,0 +1,57 @@
+(** Compact binary IR codec.
+
+    A length-delimited binary encoding of {!Cfg.func} and
+    {!Cfg.program} for the allocation daemon's wire protocol: zigzag
+    LEB128 varints for every integer (registers, labels, offsets,
+    counters), length-prefixed strings, one tag byte per instruction
+    kind.  The codec round-trips {e everything} allocation observes —
+    block structure, instruction ids, spill-slot metadata
+    ([Spill]/[Reload] slots), the register-class table and the
+    fresh-name counters — so a decoded function runs the pipeline
+    bit-for-bit like the original.
+
+    Determinism contract: [encode] is a pure function of the
+    function's structural content (the class table is emitted in sorted
+    register order, never hash-table order), and
+    [encode (decode (encode f)) = encode f] byte for byte. *)
+
+exception Error of string
+(** Raised by the decoders on truncated, oversized or malformed
+    input.  The message names the offset and what was expected. *)
+
+val encode_func : Cfg.func -> string
+val decode_func : string -> Cfg.func
+
+val encode_program : Cfg.program -> string
+(** A ["PDGC1"] magic header, the [main] name, then the functions. *)
+
+val decode_program : string -> Cfg.program
+
+(** {2 Buffer-level API}
+
+    The wire protocol embeds encoded values inside larger frames;
+    these entry points avoid the intermediate copies. *)
+
+val write_func : Buffer.t -> Cfg.func -> unit
+val write_program : Buffer.t -> Cfg.program -> unit
+
+type reader
+(** A cursor over an input string. *)
+
+val reader : ?pos:int -> string -> reader
+val pos : reader -> int
+val read_func : reader -> Cfg.func
+val read_program : reader -> Cfg.program
+
+(** {2 Primitives}
+
+    Shared with the protocol layer so frames and payloads agree on one
+    integer and string representation. *)
+
+val write_int : Buffer.t -> int -> unit
+val write_int64 : Buffer.t -> int64 -> unit
+val write_string : Buffer.t -> string -> unit
+val read_byte : reader -> int
+val read_int : reader -> int
+val read_int64 : reader -> int64
+val read_string : reader -> string

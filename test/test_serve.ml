@@ -1,0 +1,368 @@
+(* Allocation-service tests: the body digest (cache addressing), the
+   binary IR codec (round-trip properties), the LRU cache and the wire
+   protocol.  The live daemon itself is exercised end-to-end by the
+   @serve-smoke alias (bin/pdgc_loadgen --selftest). *)
+
+open Helpers
+
+(* A program with every interesting feature: calls, floats, paired
+   loads, limited ops, plus (after allocation at low k) spill code. *)
+let rich_program seed =
+  Gen.generate
+    {
+      Gen.default with
+      Gen.name = "serve-rich";
+      seed;
+      n_funcs = 3;
+      float_ratio = 0.4;
+      paired_ratio = 0.5;
+      limited_ratio = 0.3;
+      pressure = 12;
+    }
+
+let allocated_funcs seed =
+  (* Finalized functions contain Spill/Reload/Load_pair, the kinds a
+     pre-allocation body never shows the codec. *)
+  let m = Machine.make ~k:8 () in
+  let p = Pipeline.prepare m (rich_program seed) in
+  let a = Pipeline.allocate_program ~jobs:1 Pipeline.pdgc_full m p in
+  (m, a)
+
+(* ---- body digest -------------------------------------------------------- *)
+
+let digest_hex f = Digest.to_hex (Cfg.body_digest f)
+
+let test_digest_clone_invariant () =
+  List.iter
+    (fun (f : Cfg.func) ->
+      check Alcotest.string ("clone " ^ f.Cfg.name) (digest_hex f)
+        (digest_hex (Cfg.clone f)))
+    (rich_program 7).Cfg.funcs
+
+let test_digest_ignores_lazy_caches () =
+  let f = List.hd (rich_program 8).Cfg.funcs in
+  let before = digest_hex f in
+  (* Force the dense-numbering cache and re-digest. *)
+  let first_instr = (List.hd f.Cfg.blocks).Cfg.instrs.(0) in
+  ignore (Cfg.instr_index f first_instr);
+  check Alcotest.string "numbering cache is invisible" before (digest_hex f)
+
+let test_digest_ignores_construction_history () =
+  let build extra =
+    let b = Builder.create ~name:"hist" ~n_params:2 in
+    let x = Builder.reg b Reg.Int_class in
+    let y = Builder.reg b Reg.Int_class in
+    Builder.param b x 0;
+    Builder.param b y 1;
+    let s = Builder.binop b Instr.Add x y in
+    Builder.ret b (Some s);
+    (* Same body, different construction history: burn fresh names
+       that never appear in an instruction. *)
+    if extra then begin
+      ignore (Builder.reg b Reg.Float_class);
+      ignore (Builder.reg b Reg.Int_class)
+    end;
+    Builder.finish b
+  in
+  check Alcotest.string "unused fresh names are invisible"
+    (digest_hex (build false))
+    (digest_hex (build true));
+  check Alcotest.string "function name is invisible"
+    (digest_hex (build false))
+    (digest_hex { (build false) with Cfg.name = "other" })
+
+(* One structural edit at instruction position [target], leaving every
+   other instruction alone.  Covers every constructor the IR has. *)
+let perturb_kind (k : Instr.kind) : Instr.kind =
+  match k with
+  | Instr.Move { dst; src } -> Instr.Move { dst; src = src + 1 }
+  | Instr.Const { dst; value } ->
+      Instr.Const { dst; value = Int64.add value 1L }
+  | Instr.Unop { op; dst; src } -> Instr.Unop { op; dst; src = src + 1 }
+  | Instr.Binop { op; dst; src1; src2 } ->
+      Instr.Binop { op; dst; src1; src2 = src2 + 1 }
+  | Instr.Cmp { op; dst; src1; src2 } ->
+      Instr.Cmp { op; dst; src1; src2 = src2 + 1 }
+  | Instr.Load { dst; base; offset } ->
+      Instr.Load { dst; base; offset = offset + 8 }
+  | Instr.Load_pair { dst_lo; dst_hi; base; offset } ->
+      Instr.Load_pair { dst_lo; dst_hi; base; offset = offset + 8 }
+  | Instr.Store { src; base; offset } ->
+      Instr.Store { src; base; offset = offset + 8 }
+  | Instr.Limited { dst; src } -> Instr.Limited { dst; src = src + 1 }
+  | Instr.Call { dst; callee; args } ->
+      Instr.Call { dst; callee = callee ^ "'"; args }
+  | Instr.Param { dst; index } -> Instr.Param { dst; index = index + 1 }
+  | Instr.Spill { src; slot } -> Instr.Spill { src; slot = slot + 1 }
+  | Instr.Reload { dst; slot } -> Instr.Reload { dst; slot = slot + 1 }
+  | Instr.Jump l -> Instr.Jump (l + 1)
+  | Instr.Branch { cond; ifso; ifnot } ->
+      Instr.Branch { cond; ifso = ifso + 1; ifnot }
+  | Instr.Ret None -> Instr.Ret (Some 0)
+  | Instr.Ret (Some r) -> Instr.Ret (Some (r + 1))
+  | Instr.Phi { dst; srcs } -> Instr.Phi { dst = dst + 1; srcs }
+
+let edit_instr f target =
+  let i = ref (-1) in
+  Cfg.map_instrs f (fun instr ->
+      incr i;
+      if !i = target then perturb_kind instr.Instr.kind else instr.Instr.kind)
+
+let test_digest_sees_every_instruction () =
+  let _, a = allocated_funcs 9 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let base = Cfg.body_digest f in
+      let n =
+        List.fold_left
+          (fun n b -> n + Array.length b.Cfg.instrs)
+          0 f.Cfg.blocks
+      in
+      for target = 0 to n - 1 do
+        if Cfg.body_digest (edit_instr f target) = base then
+          Alcotest.failf "%s: edit at instruction %d left the digest unchanged"
+            f.Cfg.name target
+      done)
+    a.Pipeline.program.Cfg.funcs
+
+(* ---- codec round trips -------------------------------------------------- *)
+
+let cls_entries (f : Cfg.func) =
+  List.sort compare
+    (Reg.Tbl.fold (fun r c acc -> (r, c) :: acc) f.Cfg.reg_cls [])
+
+let check_func_round_trip what (f : Cfg.func) =
+  let enc = Codec.encode_func f in
+  let dec = Codec.decode_func enc in
+  check Alcotest.string (what ^ ": name") f.Cfg.name dec.Cfg.name;
+  check Alcotest.int (what ^ ": n_params") f.Cfg.n_params dec.Cfg.n_params;
+  check Alcotest.int (what ^ ": entry") f.Cfg.entry dec.Cfg.entry;
+  check Alcotest.int (what ^ ": next_reg") f.Cfg.next_reg dec.Cfg.next_reg;
+  check Alcotest.int (what ^ ": next_instr_id") f.Cfg.next_instr_id
+    dec.Cfg.next_instr_id;
+  check Alcotest.int (what ^ ": next_label") f.Cfg.next_label
+    dec.Cfg.next_label;
+  check Alcotest.bool (what ^ ": class table") true
+    (cls_entries f = cls_entries dec);
+  check Alcotest.bool (what ^ ": blocks") true
+    (List.map (fun b -> (b.Cfg.label, Array.to_list b.Cfg.instrs)) f.Cfg.blocks
+    = List.map
+        (fun b -> (b.Cfg.label, Array.to_list b.Cfg.instrs))
+        dec.Cfg.blocks);
+  check Alcotest.string (what ^ ": byte-identical re-encode") enc
+    (Codec.encode_func dec);
+  check Alcotest.string (what ^ ": digest survives the wire")
+    (digest_hex f) (digest_hex dec)
+
+let test_codec_suite () =
+  List.iter
+    (fun (name, p) ->
+      let enc = Codec.encode_program p in
+      check Alcotest.string (name ^ ": program re-encode") enc
+        (Codec.encode_program (Codec.decode_program enc));
+      List.iter (check_func_round_trip name) p.Cfg.funcs)
+    (Suite.all ())
+
+let prop_codec_random_workload =
+  qcheck ~count:25 "codec round-trips random workload programs" seed_gen
+    (fun seed ->
+      let p = Gen.generate (Gen.random_profile (Rng.create seed)) in
+      let enc = Codec.encode_program p in
+      let dec = Codec.decode_program enc in
+      Codec.encode_program dec = enc
+      && List.for_all2
+           (fun (f : Cfg.func) (d : Cfg.func) ->
+             Cfg.body_digest f = Cfg.body_digest d
+             && cls_entries f = cls_entries d)
+           p.Cfg.funcs dec.Cfg.funcs)
+
+let test_codec_spill_metadata () =
+  (* Post-allocation bodies carry Spill/Reload (and possibly fused
+     Load_pair); they must survive the wire like everything else. *)
+  let _, a = allocated_funcs 11 in
+  let spills =
+    List.fold_left
+      (fun n (f : Cfg.func) ->
+        List.fold_left
+          (fun n b ->
+            Array.fold_left
+              (fun n i ->
+                match i.Instr.kind with
+                | Instr.Spill _ | Instr.Reload _ -> n + 1
+                | _ -> n)
+              n b.Cfg.instrs)
+          n f.Cfg.blocks)
+      0 a.Pipeline.program.Cfg.funcs
+  in
+  check Alcotest.bool "the allocated program actually spills" true (spills > 0);
+  List.iter (check_func_round_trip "allocated") a.Pipeline.program.Cfg.funcs;
+  List.iter (check_func_round_trip "pre-finalize")
+    (List.map (fun (r : Alloc_common.result) -> r.Alloc_common.func) a.Pipeline.results)
+
+let test_codec_rejects_garbage () =
+  let expect_error what thunk =
+    match thunk () with
+    | (_ : Cfg.func) -> Alcotest.failf "%s: malformed input decoded" what
+    | exception Codec.Error _ -> ()
+  in
+  let enc = Codec.encode_func (List.hd (rich_program 3).Cfg.funcs) in
+  expect_error "truncation" (fun () ->
+      Codec.decode_func (String.sub enc 0 (String.length enc / 2)));
+  expect_error "trailing garbage" (fun () -> Codec.decode_func (enc ^ "x"))
+
+(* ---- func replies ------------------------------------------------------- *)
+
+let test_func_reply_round_trip () =
+  let m, a = allocated_funcs 13 in
+  ignore m;
+  List.iter2
+    (fun (res : Alloc_common.result) (fin : Finalize.t) ->
+      let blob = Protocol.encode_func_reply res fin in
+      let r = Protocol.decode_func_reply blob in
+      check Alcotest.int "rounds" res.Alloc_common.rounds r.Protocol.rounds;
+      check Alcotest.int "spill_instrs" res.Alloc_common.spill_instrs
+        r.Protocol.spill_instrs;
+      check Alcotest.int "moves_eliminated" fin.Finalize.moves_eliminated
+        r.Protocol.moves_eliminated;
+      check Alcotest.int "caller_save_instrs" fin.Finalize.caller_save_instrs
+        r.Protocol.caller_save_instrs;
+      check Alcotest.bool "spill slots" true
+        (res.Alloc_common.spill_slots = r.Protocol.spill_slots);
+      check Alcotest.string "finalized body survives"
+        (Codec.encode_func fin.Finalize.func)
+        (Codec.encode_func r.Protocol.func))
+    a.Pipeline.results a.Pipeline.finals
+
+(* ---- wire protocol ------------------------------------------------------ *)
+
+let test_protocol_round_trips () =
+  let p = rich_program 5 in
+  let reqs =
+    [
+      Protocol.Alloc
+        {
+          machine = Machine.high_pressure;
+          algo = "pdgc";
+          program = Protocol.Binary p;
+        };
+      Protocol.Alloc
+        {
+          machine = Machine.low_pressure;
+          algo = "chaitin";
+          program = Protocol.Text "fn main() { return 1; }";
+        };
+      Protocol.Stats;
+      Protocol.Shutdown;
+    ]
+  in
+  List.iter
+    (fun req ->
+      let rt = Protocol.decode_request (Protocol.encode_request req) in
+      match (req, rt) with
+      | ( Protocol.Alloc { machine; algo; program },
+          Protocol.Alloc { machine = m'; algo = a'; program = p' } ) ->
+          check Alcotest.bool "machine" true (machine = m');
+          check Alcotest.string "algo" algo a';
+          check Alcotest.bool "program" true
+            (match (program, p') with
+            | Protocol.Binary x, Protocol.Binary y ->
+                Codec.encode_program x = Codec.encode_program y
+            | Protocol.Text x, Protocol.Text y -> x = y
+            | _ -> false)
+      | Protocol.Stats, Protocol.Stats -> ()
+      | Protocol.Shutdown, Protocol.Shutdown -> ()
+      | _ -> Alcotest.fail "request changed shape on the wire")
+    reqs;
+  let stats =
+    {
+      Protocol.cache =
+        { Cache.hits = 5; misses = 3; evictions = 1; entries = 2; capacity = 8 };
+      funcs_served = 10;
+      funcs_allocated = 4;
+      requests_served = 6;
+      batches = 3;
+      pool_jobs = 2;
+    }
+  in
+  List.iter
+    (fun resp ->
+      check Alcotest.bool "response round trip" true
+        (Protocol.decode_response (Protocol.encode_response resp) = resp))
+    [
+      Protocol.Funcs [ "alpha"; ""; "gamma" ];
+      Protocol.Stats_reply stats;
+      Protocol.Shutdown_ack;
+      (* status byte 255: must be read as a raw byte, not a varint *)
+      Protocol.Error_reply "boom";
+    ]
+
+(* ---- LRU cache ---------------------------------------------------------- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  check Alcotest.bool "hit a" true (Cache.find c "a" = Some 1);
+  (* b is now coldest: adding c evicts it, not a *)
+  Cache.add c "c" 3;
+  check Alcotest.bool "b evicted" true (Cache.find c "b" = None);
+  check Alcotest.bool "a kept" true (Cache.find c "a" = Some 1);
+  check Alcotest.bool "c kept" true (Cache.find c "c" = Some 3);
+  let s = Cache.stats c in
+  check Alcotest.int "hits" 3 s.Cache.hits;
+  check Alcotest.int "misses" 1 s.Cache.misses;
+  check Alcotest.int "evictions" 1 s.Cache.evictions;
+  check Alcotest.int "entries" 2 s.Cache.entries;
+  check Alcotest.int "capacity" 2 s.Cache.capacity
+
+let test_cache_replace_and_mem () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "k" 1;
+  Cache.add c "k" 2;
+  check Alcotest.bool "replaced in place" true (Cache.find c "k" = Some 2);
+  let s = Cache.stats c in
+  check Alcotest.int "no eviction on replace" 0 s.Cache.evictions;
+  check Alcotest.int "one entry" 1 s.Cache.entries;
+  check Alcotest.bool "mem is uncounted" true (Cache.mem c "k");
+  check Alcotest.int "mem did not count" (Cache.stats c).Cache.hits s.Cache.hits
+
+let test_cache_unbounded () =
+  let c = Cache.create ~capacity:0 in
+  for i = 0 to 999 do
+    Cache.add c (string_of_int i) i
+  done;
+  let s = Cache.stats c in
+  check Alcotest.int "no evictions" 0 s.Cache.evictions;
+  check Alcotest.int "everything kept" 1000 s.Cache.entries;
+  check Alcotest.bool "oldest still present" true (Cache.find c "0" = Some 0)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "digest",
+        [
+          tc "clone invariant" test_digest_clone_invariant;
+          tc "lazy caches invisible" test_digest_ignores_lazy_caches;
+          tc "construction history invisible"
+            test_digest_ignores_construction_history;
+          tc "every instruction observed" test_digest_sees_every_instruction;
+        ] );
+      ( "codec",
+        [
+          tc "generated suite round-trips" test_codec_suite;
+          prop_codec_random_workload;
+          tc "spill metadata round-trips" test_codec_spill_metadata;
+          tc "garbage rejected" test_codec_rejects_garbage;
+        ] );
+      ( "protocol",
+        [
+          tc "func replies round-trip" test_func_reply_round_trip;
+          tc "requests and responses round-trip" test_protocol_round_trips;
+        ] );
+      ( "cache",
+        [
+          tc "lru eviction and counters" test_cache_lru;
+          tc "replace and mem" test_cache_replace_and_mem;
+          tc "unbounded capacity" test_cache_unbounded;
+        ] );
+    ]
